@@ -1,0 +1,60 @@
+// Command rosbench regenerates the RoS paper's evaluation tables and
+// figures. Without arguments it runs every experiment in paper order; pass
+// experiment ids (e.g. "fig15", "linkbudget") to run a subset, or -list to
+// enumerate them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ros/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	outPath := flag.String("o", "", "also write the tables to this file")
+	flag.Parse()
+
+	if *list {
+		for _, g := range experiments.Registry() {
+			fmt.Println(g.ID)
+		}
+		return
+	}
+
+	gens := experiments.Registry()
+	if args := flag.Args(); len(args) > 0 {
+		gens = gens[:0]
+		for _, id := range args {
+			g := experiments.ByID(id)
+			if g == nil {
+				fmt.Fprintf(os.Stderr, "rosbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			gens = append(gens, *g)
+		}
+	}
+
+	var sink *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rosbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+	for _, g := range gens {
+		start := time.Now()
+		table := g.Run()
+		fmt.Println(table)
+		fmt.Printf("(%s regenerated in %v)\n\n", g.ID, time.Since(start).Round(time.Millisecond))
+		if sink != nil {
+			fmt.Fprintln(sink, table)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command rosdecode decodes a recorded RCS capture (see cmd/rossim -dump):
+// the offline half of a real deployment's workflow, where radar logs are
+// archived and decoded later.
+//
+// Usage:
+//
+//	rosdecode capture.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ros"
+	"ros/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rosdecode <capture.json>")
+		os.Exit(2)
+	}
+	cap, err := trace.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rosdecode:", err)
+		os.Exit(1)
+	}
+	if cap.Note != "" {
+		fmt.Printf("capture: %s\n", cap.Note)
+	}
+	fmt.Printf("%d samples, %d coding slots, u span [%.2f, %.2f]\n",
+		len(cap.U), cap.Bits, minOf(cap.U), maxOf(cap.U))
+
+	out, err := ros.Decode(cap.U, cap.RSS, cap.Bits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rosdecode:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("decoded bits: %s\n", out.Bits)
+	fmt.Printf("decoding SNR: %.1f dB (BER %.2g)\n", out.SNRdB, out.BER)
+	if sign, err := ros.ParseSign(out.Bits); err == nil {
+		fmt.Printf("sign:         %s\n", sign)
+	}
+}
+
+func minOf(x []float64) float64 {
+	m := x[0]
+	for _, v := range x {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxOf(x []float64) float64 {
+	m := x[0]
+	for _, v := range x {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

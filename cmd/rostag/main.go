@@ -1,0 +1,108 @@
+// Command rostag designs an RoS tag for a bit string: it prints the spatial
+// layout (which PSVAA stacks to mount where), the tag's physical envelope,
+// the far-field and speed bounds of Sec 5.3, and an ASCII rendering of the
+// predicted RCS frequency spectrum.
+//
+// Usage:
+//
+//	rostag [-modules N] [-spacing L] [-flat=false] <bits>
+//
+// e.g. `rostag 1011`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ros"
+)
+
+func main() {
+	modules := flag.Int("modules", 32, "PSVAAs per stack (8, 16 or 32 in the paper)")
+	spacing := flag.Float64("spacing", 1.5, "coding unit spacing in wavelengths")
+	flat := flag.Bool("flat", true, "apply elevation beam shaping (Sec 4.3)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rostag [flags] <bits>   e.g. rostag 1011")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := []ros.TagOption{
+		ros.WithStackModules(*modules),
+		ros.WithUnitSpacing(*spacing),
+	}
+	if !*flat {
+		opts = append(opts, ros.WithoutBeamShaping())
+	}
+	tag, err := ros.NewTag(flag.Arg(0), opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rostag:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("RoS tag design for bits %q\n\n", tag.Bits())
+	fmt.Println("stack layout (positions relative to the reference stack):")
+	for _, p := range tag.Layout() {
+		mark := "mount stack"
+		if !p.Present {
+			mark = "leave empty"
+		}
+		slot := "reference"
+		if p.Slot > 0 {
+			slot = fmt.Sprintf("slot %d    ", p.Slot)
+		}
+		fmt.Printf("  %s  %+8.1f mm   %s\n", slot, p.Position*1e3, mark)
+	}
+	fmt.Println()
+	fmt.Printf("tag width:            %.1f cm\n", tag.Width()*100)
+	fmt.Printf("stack height:         %.1f cm (%d modules, shaped=%v)\n",
+		tag.Height()*100, tag.Modules(), tag.BeamShaped())
+	fmt.Printf("far-field distance:   %.2f m (decode beyond this, Eq 8)\n", tag.FarFieldDistance())
+	fmt.Printf("max speed @1 kHz/3 m: %.1f m/s (%.0f mph, Eq 9)\n",
+		tag.MaxVehicleSpeed(1000, 3), tag.MaxVehicleSpeed(1000, 3)/0.44704)
+	fmt.Printf("TI-radar read range:  %.1f m\n", ros.NewReader().MaxRange())
+
+	checks, err := tag.Review(ros.Deployment{Standoff: 3, MaxSpeedMPS: 13.4})
+	if err == nil {
+		fmt.Println("\ndeployment review (one lane away, 30 mph):")
+		fmt.Print(ros.ReviewString(checks))
+	}
+
+	spacingAxis, mag, err := tag.PredictedSpectrum(0.6, 2048)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rostag:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\npredicted RCS frequency spectrum (coding band):")
+	printSpectrum(spacingAxis, mag)
+}
+
+// printSpectrum renders an ASCII bar chart of the spectrum over the coding
+// band (3..14 wavelengths of stack spacing).
+func printSpectrum(spacing, mag []float64) {
+	const lambda = 0.0037948
+	peak := 0.0
+	for i, s := range spacing {
+		if s >= 3*lambda && s <= 14*lambda && mag[i] > peak {
+			peak = mag[i]
+		}
+	}
+	if peak == 0 {
+		fmt.Println("  (no energy)")
+		return
+	}
+	for d := 3.0; d <= 14; d += 0.5 {
+		best := 0.0
+		for i, s := range spacing {
+			if s >= (d-0.25)*lambda && s < (d+0.25)*lambda && mag[i] > best {
+				best = mag[i]
+			}
+		}
+		bar := int(best / peak * 50)
+		fmt.Printf("  %5.1f lambda |%s\n", d, strings.Repeat("#", bar))
+	}
+}

@@ -1,0 +1,64 @@
+package ros_test
+
+import (
+	"fmt"
+	"log"
+
+	"ros"
+)
+
+// ExampleNewTag designs a tag and prints its physical envelope.
+func ExampleNewTag() {
+	tag, err := ros.NewTag("1111")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("width %.1f cm, far field %.1f m\n", tag.Width()*100, tag.FarFieldDistance())
+	// Output:
+	// width 8.5 cm, far field 2.9 m
+}
+
+// ExampleReader_Read runs a full simulated drive-by.
+func ExampleReader_Read() {
+	tag, err := ros.NewTag("1011")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reading, err := ros.NewReader().Read(tag, ros.ReadOptions{Standoff: 3, SpeedMPS: 5, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detected=%v bits=%s\n", reading.Detected, reading.Bits)
+	// Output:
+	// detected=true bits=1011
+}
+
+// ExampleParseSign maps decoded bits to the road-sign catalog.
+func ExampleParseSign() {
+	s, err := ros.ParseSign("1111")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s)
+	// Output:
+	// traffic light ahead
+}
+
+// ExampleTag_Review checks a design against a deployment.
+func ExampleTag_Review() {
+	tag, err := ros.NewTag("1111")
+	if err != nil {
+		log.Fatal(err)
+	}
+	checks, err := tag.Review(ros.Deployment{Standoff: 3, MaxSpeedMPS: 13.4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range checks {
+		fmt.Printf("%s ok=%v\n", c.Name, c.OK)
+	}
+	// Output:
+	// far field (Eq 8) ok=true
+	// Nyquist speed (Eq 9) ok=true
+	// link budget (Sec 5.3) ok=true
+}

@@ -1,0 +1,52 @@
+// Drivethrough: the paper's motivating scenario (Fig 1) — a sedan passes a
+// radar-readable speed-limit sign at driving speed, from different lanes,
+// among ordinary roadside objects. Message "1111" stands for "traffic light
+// ahead" as in the paper's illustration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ros"
+)
+
+// lane maps a lane index to the radar-to-curb distance in meters.
+func lane(i int) float64 { return 2.0 + 1.5*float64(i) }
+
+func main() {
+	tag, err := ros.NewSignTag(ros.SignTrafficLightAhead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("roadside sign: %q (bits %s)\n", ros.SignTrafficLightAhead, tag.Bits())
+	fmt.Println("sedan at 25 mph, radar among parking meters, lamps, and trees")
+	fmt.Println()
+
+	reader := ros.NewReader()
+	const mph25 = 25 * 0.44704
+	for i := 1; i <= 3; i++ {
+		d := lane(i)
+		reading, err := reader.Read(tag, ros.ReadOptions{
+			Standoff:    d,
+			SpeedMPS:    mph25,
+			WithClutter: true,
+			Seed:        int64(100 + i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "missed"
+		if reading.Detected {
+			if sign, err := ros.ParseSign(reading.Bits); err == nil && reading.Bits == tag.Bits() {
+				status = fmt.Sprintf("read %q, SNR %.1f dB (BER %.2g)",
+					sign, reading.SNRdB, reading.BER)
+			} else {
+				status = fmt.Sprintf("bit errors: got %q", reading.Bits)
+			}
+		}
+		fmt.Printf("lane %d (%.1f m away): %s\n", i, d, status)
+	}
+	fmt.Println()
+	fmt.Printf("(paper Sec 7.2: decodable across lanes up to ~6 m with the TI radar)\n")
+}

@@ -1,0 +1,43 @@
+// Foggyintersection: the adverse-weather scenario of Fig 16c. A camera
+// would be blinded by heavy fog; the RoS tag's radar link barely notices it
+// (2 dB per 100 m of one-way attenuation at 79 GHz). A crosswalk-warning
+// tag is read under three fog levels and with a pedestrian standing nearby.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ros"
+)
+
+func main() {
+	tag, err := ros.NewTag("1001") // "crosswalk ahead"
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("crosswalk-warning tag (bits 1001) at an intersection")
+	fmt.Println()
+
+	reader := ros.NewReader()
+	for _, fog := range []ros.FogLevel{ros.FogClear, ros.FogLight, ros.FogHeavy} {
+		reading, err := reader.Read(tag, ros.ReadOptions{
+			Standoff:    3,
+			SpeedMPS:    7,
+			Fog:         fog,
+			WithClutter: true,
+			Seed:        7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !reading.Detected {
+			fmt.Printf("%-10s tag missed\n", fog)
+			continue
+		}
+		fmt.Printf("%-10s decoded %q  SNR %5.1f dB  RSS %5.1f dBm\n",
+			fog, reading.Bits, reading.SNRdB, reading.MedianRSSdBm)
+	}
+	fmt.Println()
+	fmt.Println("(paper Fig 16c: median SNR stays above 15 dB at every fog level)")
+}

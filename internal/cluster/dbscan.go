@@ -1,0 +1,163 @@
+// Package cluster implements the DBSCAN density-based clustering algorithm
+// (Ester et al., the paper's [15]) that RoS uses to group radar point-cloud
+// detections into candidate objects (Sec 6), plus the per-cluster statistics
+// (size, density, centroid) the tag-detection features are computed from.
+package cluster
+
+import (
+	"math"
+
+	"ros/internal/geom"
+)
+
+// Noise is the label assigned to points that belong to no cluster.
+const Noise = -1
+
+// Point is a weighted 2-D point-cloud sample. Weight carries the detected
+// reflected signal strength so cluster statistics can be power-weighted.
+type Point struct {
+	Pos    geom.Vec2
+	Weight float64
+}
+
+// DBSCAN clusters points with neighbourhood radius eps and core threshold
+// minPts. It returns one label per point: 0..k-1 for cluster membership or
+// Noise. The classic algorithm from the paper's reference [15] is used, with
+// a brute-force neighbourhood query (point clouds here are a few thousand
+// points at most).
+func DBSCAN(points []Point, eps float64, minPts int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if n == 0 || eps <= 0 || minPts < 1 {
+		return labels
+	}
+	eps2 := eps * eps
+	visited := make([]bool, n)
+	next := 0
+
+	neighbours := func(i int) []int {
+		var out []int
+		pi := points[i].Pos
+		for j := range points {
+			d := pi.Sub(points[j].Pos)
+			if d.X*d.X+d.Y*d.Y <= eps2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		seeds := neighbours(i)
+		if len(seeds) < minPts {
+			continue // noise (may later be claimed as a border point)
+		}
+		c := next
+		next++
+		labels[i] = c
+		for k := 0; k < len(seeds); k++ {
+			j := seeds[k]
+			if !visited[j] {
+				visited[j] = true
+				more := neighbours(j)
+				if len(more) >= minPts {
+					seeds = append(seeds, more...)
+				}
+			}
+			if labels[j] == Noise {
+				labels[j] = c
+			}
+		}
+	}
+	return labels
+}
+
+// Stats summarizes one cluster.
+type Stats struct {
+	// Label is the cluster id.
+	Label int
+	// Count is the number of member points.
+	Count int
+	// Centroid is the weight-weighted center of gravity (Sec 6: "RoS
+	// calculates its center of gravity and assigns it as the location of
+	// the corresponding object").
+	Centroid geom.Vec2
+	// Extent is the RMS distance of the members from the centroid — the
+	// "point cloud size" feature of Fig 13b.
+	Extent float64
+	// Density is Count divided by the area of the bounding circle of
+	// radius max(Extent, epsFloor); larger for compact, persistent
+	// reflectors.
+	Density float64
+	// TotalWeight sums the member weights (aggregate RSS).
+	TotalWeight float64
+}
+
+// Summarize computes per-cluster statistics from DBSCAN labels. Noise points
+// are skipped. Clusters are returned indexed by label. epsFloor bounds the
+// radius used in the density computation away from zero.
+func Summarize(points []Point, labels []int, epsFloor float64) []Stats {
+	if len(points) != len(labels) {
+		panic("cluster: points and labels length mismatch")
+	}
+	maxLabel := -1
+	for _, l := range labels {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	if maxLabel < 0 {
+		return nil
+	}
+	out := make([]Stats, maxLabel+1)
+	for i := range out {
+		out[i].Label = i
+	}
+	// First pass: centroids.
+	for i, p := range points {
+		l := labels[i]
+		if l == Noise {
+			continue
+		}
+		s := &out[l]
+		w := p.Weight
+		if w <= 0 {
+			w = 1e-12
+		}
+		s.Count++
+		s.TotalWeight += w
+		s.Centroid = s.Centroid.Add(p.Pos.Scale(w))
+	}
+	for i := range out {
+		if out[i].TotalWeight > 0 {
+			out[i].Centroid = out[i].Centroid.Scale(1 / out[i].TotalWeight)
+		}
+	}
+	// Second pass: extent.
+	for i, p := range points {
+		l := labels[i]
+		if l == Noise {
+			continue
+		}
+		d := p.Pos.Dist(out[l].Centroid)
+		out[l].Extent += d * d
+	}
+	for i := range out {
+		if out[i].Count > 0 {
+			out[i].Extent = math.Sqrt(out[i].Extent / float64(out[i].Count))
+			r := out[i].Extent
+			if r < epsFloor {
+				r = epsFloor
+			}
+			out[i].Density = float64(out[i].Count) / (math.Pi * r * r)
+		}
+	}
+	return out
+}

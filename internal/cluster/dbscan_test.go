@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ros/internal/geom"
+)
+
+// blob generates n points normally distributed around center.
+func blob(rng *rand.Rand, center geom.Vec2, sigma float64, n int) []Point {
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = Point{
+			Pos:    geom.Vec2{X: center.X + rng.NormFloat64()*sigma, Y: center.Y + rng.NormFloat64()*sigma},
+			Weight: 1,
+		}
+	}
+	return out
+}
+
+func TestDBSCANTwoBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := append(blob(rng, geom.Vec2{X: 0, Y: 0}, 0.05, 50), blob(rng, geom.Vec2{X: 5, Y: 0}, 0.05, 50)...)
+	labels := DBSCAN(pts, 0.3, 4)
+	// All points in blob A share one label, blob B another, and they differ.
+	la, lb := labels[0], labels[50]
+	if la == Noise || lb == Noise {
+		t.Fatalf("blob cores marked as noise: %d, %d", la, lb)
+	}
+	if la == lb {
+		t.Fatal("two distant blobs merged")
+	}
+	for i := 0; i < 50; i++ {
+		if labels[i] != la {
+			t.Fatalf("point %d of blob A labelled %d, want %d", i, labels[i], la)
+		}
+		if labels[i+50] != lb {
+			t.Fatalf("point %d of blob B labelled %d, want %d", i, labels[i+50], lb)
+		}
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := blob(rng, geom.Vec2{}, 0.05, 30)
+	pts = append(pts, Point{Pos: geom.Vec2{X: 100, Y: 100}, Weight: 1})
+	labels := DBSCAN(pts, 0.3, 4)
+	if labels[len(labels)-1] != Noise {
+		t.Errorf("isolated point labelled %d, want Noise", labels[len(labels)-1])
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	pts := []Point{
+		{Pos: geom.Vec2{X: 0, Y: 0}},
+		{Pos: geom.Vec2{X: 10, Y: 0}},
+		{Pos: geom.Vec2{X: 0, Y: 10}},
+	}
+	labels := DBSCAN(pts, 1, 2)
+	for i, l := range labels {
+		if l != Noise {
+			t.Errorf("point %d labelled %d, want Noise", i, l)
+		}
+	}
+}
+
+func TestDBSCANEmptyAndDegenerate(t *testing.T) {
+	if l := DBSCAN(nil, 1, 2); len(l) != 0 {
+		t.Errorf("labels of nil = %v", l)
+	}
+	pts := []Point{{Pos: geom.Vec2{}}}
+	if l := DBSCAN(pts, 0, 2); l[0] != Noise {
+		t.Errorf("eps=0 labelled %d", l[0])
+	}
+	if l := DBSCAN(pts, 1, 0); l[0] != Noise {
+		t.Errorf("minPts=0 labelled %d", l[0])
+	}
+}
+
+func TestDBSCANBorderPoints(t *testing.T) {
+	// A chain: dense core plus one border point within eps of a core point
+	// but with too few neighbours of its own.
+	pts := []Point{
+		{Pos: geom.Vec2{X: 0.0}}, {Pos: geom.Vec2{X: 0.1}}, {Pos: geom.Vec2{X: 0.2}},
+		{Pos: geom.Vec2{X: 0.3}}, {Pos: geom.Vec2{X: 0.4}},
+		{Pos: geom.Vec2{X: 0.8}}, // border: only the core point at 0.4 within eps
+	}
+	labels := DBSCAN(pts, 0.45, 3)
+	if labels[5] == Noise {
+		t.Error("border point not absorbed into the cluster")
+	}
+	if labels[5] != labels[0] {
+		t.Errorf("border point labelled %d, core labelled %d", labels[5], labels[0])
+	}
+}
+
+func TestDBSCANLabelInvariants(t *testing.T) {
+	// Property: labels are either Noise or in [0, k), and every non-noise
+	// label is used by at least minPts points or absorbed as border points
+	// (at least 1 point).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var pts []Point
+		nBlobs := 1 + rng.Intn(3)
+		for b := 0; b < nBlobs; b++ {
+			c := geom.Vec2{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+			pts = append(pts, blob(rng, c, 0.1, 5+rng.Intn(20))...)
+		}
+		labels := DBSCAN(pts, 0.5, 4)
+		if len(labels) != len(pts) {
+			return false
+		}
+		maxL := -1
+		counts := map[int]int{}
+		for _, l := range labels {
+			if l < Noise {
+				return false
+			}
+			if l > maxL {
+				maxL = l
+			}
+			counts[l]++
+		}
+		for l := 0; l <= maxL; l++ {
+			if counts[l] == 0 {
+				return false // label gap
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeCentroidAndExtent(t *testing.T) {
+	pts := []Point{
+		{Pos: geom.Vec2{X: -1, Y: 0}, Weight: 1},
+		{Pos: geom.Vec2{X: 1, Y: 0}, Weight: 1},
+		{Pos: geom.Vec2{X: 0, Y: 1}, Weight: 1},
+		{Pos: geom.Vec2{X: 0, Y: -1}, Weight: 1},
+		{Pos: geom.Vec2{X: 50, Y: 50}, Weight: 1}, // noise
+	}
+	labels := []int{0, 0, 0, 0, Noise}
+	stats := Summarize(pts, labels, 0.01)
+	if len(stats) != 1 {
+		t.Fatalf("got %d clusters, want 1", len(stats))
+	}
+	s := stats[0]
+	if s.Count != 4 {
+		t.Errorf("Count = %d, want 4", s.Count)
+	}
+	if math.Abs(s.Centroid.X) > 1e-12 || math.Abs(s.Centroid.Y) > 1e-12 {
+		t.Errorf("Centroid = %v, want origin", s.Centroid)
+	}
+	if math.Abs(s.Extent-1) > 1e-12 {
+		t.Errorf("Extent = %g, want 1", s.Extent)
+	}
+	if s.TotalWeight != 4 {
+		t.Errorf("TotalWeight = %g, want 4", s.TotalWeight)
+	}
+	wantDensity := 4 / math.Pi
+	if math.Abs(s.Density-wantDensity) > 1e-9 {
+		t.Errorf("Density = %g, want %g", s.Density, wantDensity)
+	}
+}
+
+func TestSummarizeWeighted(t *testing.T) {
+	// A heavy point pulls the centroid toward it.
+	pts := []Point{
+		{Pos: geom.Vec2{X: 0}, Weight: 3},
+		{Pos: geom.Vec2{X: 4}, Weight: 1},
+	}
+	labels := []int{0, 0}
+	s := Summarize(pts, labels, 0.01)[0]
+	if math.Abs(s.Centroid.X-1) > 1e-12 {
+		t.Errorf("weighted centroid X = %g, want 1", s.Centroid.X)
+	}
+}
+
+func TestSummarizeZeroWeight(t *testing.T) {
+	pts := []Point{{Pos: geom.Vec2{X: 1}, Weight: 0}, {Pos: geom.Vec2{X: 1}, Weight: 0}}
+	s := Summarize(pts, []int{0, 0}, 0.01)
+	if len(s) != 1 || s[0].Count != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.IsNaN(s[0].Centroid.X) {
+		t.Error("zero-weight cluster produced NaN centroid")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil, nil, 0.01); s != nil {
+		t.Errorf("Summarize(nil) = %v", s)
+	}
+	labels := []int{Noise, Noise}
+	pts := []Point{{}, {}}
+	if s := Summarize(pts, labels, 0.01); s != nil {
+		t.Errorf("all-noise Summarize = %v", s)
+	}
+}
+
+func TestSummarizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Summarize([]Point{{}}, []int{0, 0}, 0.01)
+}

@@ -1,0 +1,63 @@
+package coding
+
+import "fmt"
+
+// Forward error correction for multi-tag messages, the Sec 8 suggestion:
+// "Larger encoding capacity also allows for error correction mechanisms to
+// improve the reliability of decoding." A Hamming(7,4) code fits RoS
+// naturally: one 4-bit data nibble expands to 7 bits carried by two tags (or
+// one 8-bit ASK tag), and any single-bit read error is corrected.
+
+// HammingEncode expands a 4-bit data word into a 7-bit Hamming(7,4)
+// codeword, parity bits at positions 1, 2 and 4 (1-indexed).
+func HammingEncode(data []bool) ([]bool, error) {
+	if len(data) != 4 {
+		return nil, fmt.Errorf("coding: Hamming(7,4) encodes exactly 4 bits, got %d", len(data))
+	}
+	d := data
+	code := make([]bool, 7)
+	// Data positions 3, 5, 6, 7 (1-indexed).
+	code[2], code[4], code[5], code[6] = d[0], d[1], d[2], d[3]
+	// Parity over positions with the respective bit set in their index.
+	code[0] = xor(code[2], code[4], code[6]) // p1 covers 1,3,5,7
+	code[1] = xor(code[2], code[5], code[6]) // p2 covers 2,3,6,7
+	code[3] = xor(code[4], code[5], code[6]) // p4 covers 4,5,6,7
+	return code, nil
+}
+
+// HammingDecode recovers the 4 data bits from a 7-bit codeword, correcting
+// up to one flipped bit. It returns the data, the 1-indexed position of the
+// corrected bit (0 when the codeword was clean), and an error for malformed
+// input.
+func HammingDecode(code []bool) (data []bool, corrected int, err error) {
+	if len(code) != 7 {
+		return nil, 0, fmt.Errorf("coding: Hamming(7,4) decodes exactly 7 bits, got %d", len(code))
+	}
+	c := append([]bool(nil), code...)
+	s1 := xor(c[0], c[2], c[4], c[6])
+	s2 := xor(c[1], c[2], c[5], c[6])
+	s4 := xor(c[3], c[4], c[5], c[6])
+	syndrome := 0
+	if s1 {
+		syndrome |= 1
+	}
+	if s2 {
+		syndrome |= 2
+	}
+	if s4 {
+		syndrome |= 4
+	}
+	if syndrome != 0 {
+		c[syndrome-1] = !c[syndrome-1]
+		corrected = syndrome
+	}
+	return []bool{c[2], c[4], c[5], c[6]}, corrected, nil
+}
+
+func xor(bits ...bool) bool {
+	v := false
+	for _, b := range bits {
+		v = v != b
+	}
+	return v
+}

@@ -1,0 +1,140 @@
+package coding
+
+import (
+	"fmt"
+	"math"
+
+	"ros/internal/dsp"
+)
+
+// Spectrum is the RCS frequency spectrum of Eq 7: the Fourier transform of
+// the measured RCS over u = cos(theta), with the frequency axis rescaled to
+// stack spacing (a tone at spacing d appears at 2*d/lambda cycles per unit
+// u, i.e. at axis position d).
+type Spectrum struct {
+	// Spacing is the axis in meters: entry i is the stack spacing whose
+	// peak would appear in bin i.
+	Spacing []float64
+	// Mag is the spectrum magnitude per bin (arbitrary linear units,
+	// normalized to the coding-band total as in Sec 6).
+	Mag []float64
+}
+
+// Resolution returns the spacing-axis bin width in meters.
+func (s *Spectrum) Resolution() float64 {
+	if len(s.Spacing) < 2 {
+		return 0
+	}
+	return s.Spacing[1] - s.Spacing[0]
+}
+
+// AmplitudeAt returns the maximum magnitude within +/- tol meters of the
+// given spacing.
+func (s *Spectrum) AmplitudeAt(spacing, tol float64) float64 {
+	res := s.Resolution()
+	if res == 0 {
+		return 0
+	}
+	center := int(math.Round(spacing / res))
+	hw := int(math.Ceil(tol / res))
+	return dsp.MaxAround(s.Mag, center, hw)
+}
+
+// SpectrumOptions controls ComputeSpectrum.
+type SpectrumOptions struct {
+	// Lambda is the signal wavelength in meters (required).
+	Lambda float64
+	// Window tapers the u-domain samples; Hann by default.
+	Window dsp.Window
+	// OversampleFactor zero-pads the FFT by this factor for a finer
+	// spacing axis (default 8).
+	OversampleFactor int
+	// GridPoints is the number of uniform u samples to interpolate onto
+	// (default: next power of two >= 2x input length, min 256).
+	GridPoints int
+	// DetrendHalfWindow is the moving-average half window (in grid
+	// samples) used to strip the single-stack envelope r_T(theta) before
+	// the FFT (default: GridPoints/DetrendDivisor).
+	DetrendHalfWindow int
+	// DetrendDivisor sets the default half window as a fraction of the
+	// grid (default 16). Amplitude-sensitive decoders (ASK) use a smaller
+	// divisor — a wider average — because a short window leaves tone
+	// residue in the envelope estimate and the division then distorts
+	// relative peak amplitudes.
+	DetrendDivisor int
+	// DisableDetrend skips envelope removal entirely (mean subtraction
+	// only); used by the detrending ablation.
+	DisableDetrend bool
+}
+
+// ComputeSpectrum turns non-uniform RCS samples (u_i, rss_i) into the RCS
+// frequency spectrum: resample onto a uniform u grid, strip the slowly
+// varying envelope, window, zero-pad, FFT, and rescale the axis to stack
+// spacing. Only non-negative spacings are returned (the RSS is real, so the
+// spectrum is symmetric).
+func ComputeSpectrum(u, rss []float64, opts SpectrumOptions) (*Spectrum, error) {
+	if opts.Lambda <= 0 {
+		return nil, fmt.Errorf("coding: spectrum requires a positive wavelength, got %g", opts.Lambda)
+	}
+	if len(u) != len(rss) {
+		return nil, fmt.Errorf("coding: %d u samples vs %d rss samples", len(u), len(rss))
+	}
+	if len(u) < 8 {
+		return nil, fmt.Errorf("coding: need at least 8 samples, got %d", len(u))
+	}
+	uMin, _ := dsp.Min(u)
+	uMax, _ := dsp.Max(u)
+	if uMax-uMin < 1e-6 {
+		return nil, fmt.Errorf("coding: degenerate u span [%g, %g]", uMin, uMax)
+	}
+	n := opts.GridPoints
+	if n == 0 {
+		n = dsp.NextPow2(2 * len(u))
+		if n < 256 {
+			n = 256
+		}
+	}
+	grid, vals, err := dsp.Resample(u, rss, uMin, uMax, n)
+	if err != nil {
+		return nil, err
+	}
+	var det []float64
+	if opts.DisableDetrend {
+		det = append([]float64(nil), vals...)
+	} else {
+		hw := opts.DetrendHalfWindow
+		if hw == 0 {
+			div := opts.DetrendDivisor
+			if div == 0 {
+				div = 16
+			}
+			hw = n / div
+		}
+		det, _ = dsp.Detrend(vals, hw)
+	}
+	mean := dsp.Mean(det)
+	for i := range det {
+		det[i] -= mean
+	}
+	opts.Window.ApplyFloat(det)
+
+	over := opts.OversampleFactor
+	if over == 0 {
+		over = 8
+	}
+	m := dsp.NextPow2(n * over)
+	x := make([]complex128, m)
+	for i, v := range det {
+		x[i] = complex(v, 0)
+	}
+	spec := dsp.FFT(x)
+	du := grid[1] - grid[0]
+	mag := dsp.Magnitude(spec[:m/2])
+	spacing := make([]float64, m/2)
+	for i := range spacing {
+		// Bin i is frequency i/(m*du) cycles per unit u; a stack at
+		// distance d contributes the tone 2*d/lambda, so d = f*lambda/2.
+		spacing[i] = float64(i) / (float64(m) * du) * opts.Lambda / 2
+	}
+	return &Spectrum{Spacing: spacing, Mag: mag}, nil
+}

@@ -1,0 +1,193 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ros/internal/beamshape"
+	"ros/internal/coding"
+	"ros/internal/em"
+	"ros/internal/geom"
+	"ros/internal/radar"
+	"ros/internal/scene"
+)
+
+// buildScene assembles the Fig 11 illustration: a tag at the origin plus a
+// tripod 1 m down the road.
+func buildScene(t *testing.T, bits string, withTripod bool, rng *rand.Rand) *scene.Scene {
+	t.Helper()
+	b, err := coding.ParseBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := coding.NewLayout(b, coding.DefaultDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := scene.NewTag(layout, beamshape.Shaped(32), geom.Vec3{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &scene.Scene{Tags: []*scene.Tag{tag}}
+	if withTripod {
+		sc.Clutter = append(sc.Clutter, scene.NewObject(scene.ClassTripod, geom.Vec3{X: 1.0}, rng))
+	}
+	return sc
+}
+
+// passPositions builds a decimated drive-by: the cart pass of Sec 7.1 at
+// 3 m standoff covering +/-4 m, sampled at enough frames for Nyquist.
+func passPositions(standoff float64, frames int) []geom.Vec3 {
+	out := make([]geom.Vec3, frames)
+	for i := range out {
+		x := -4 + 8*float64(i)/float64(frames-1)
+		out[i] = geom.Vec3{X: x, Y: standoff, Z: 0}
+	}
+	return out
+}
+
+func TestPipelineDetectsAndSeparatesTagFromTripod(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sc := buildScene(t, "1111", true, rng)
+	p := NewPipeline(radar.TI1443())
+	truth := passPositions(3, 240)
+	res, err := p.Run(sc, truth, truth, geom.Vec3{X: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) < 2 {
+		t.Fatalf("found %d objects, want tag + tripod (merged points: %d)", len(res.Objects), len(res.MergedPoints))
+	}
+	if res.TagIndex < 0 {
+		t.Fatalf("tag not identified; objects: %+v", res.Objects)
+	}
+	tag := res.Objects[res.TagIndex]
+	// The tag centroid is near the origin.
+	if tag.Centroid.Norm() > 0.3 {
+		t.Errorf("tag centroid at %v, want near origin", tag.Centroid)
+	}
+	// Exactly one object classified as tag (no false alarm, Sec 7.2).
+	count := 0
+	for _, o := range res.Objects {
+		if o.IsTag {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("%d objects classified as tag, want 1: %+v", count, res.Objects)
+	}
+}
+
+func TestTagRSSLossNearThirteenDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sc := buildScene(t, "1111", false, rng)
+	p := NewPipeline(radar.TI1443())
+	truth := passPositions(3, 240)
+	res, err := p.Run(sc, truth, truth, geom.Vec3{X: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TagIndex < 0 {
+		t.Fatal("tag not found")
+	}
+	loss := res.Objects[res.TagIndex].RSSLossDB
+	// Fig 13a: the tag's median RSS loss is ~13 dB.
+	if loss < 9 || loss > 15 {
+		t.Errorf("tag RSS loss = %g dB, want ~13", loss)
+	}
+}
+
+func TestClutterRSSLossSixteenToNineteen(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sc := buildScene(t, "1111", false, rng)
+	lamp := scene.NewObject(scene.ClassStreetLamp, geom.Vec3{X: 1.2}, rng)
+	sc.Clutter = append(sc.Clutter, lamp)
+	p := NewPipeline(radar.TI1443())
+	truth := passPositions(3, 240)
+	res, err := p.Run(sc, truth, truth, geom.Vec3{X: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the lamp cluster (centroid near x = 1.2).
+	found := false
+	for _, o := range res.Objects {
+		if math.Abs(o.Centroid.X-1.2) < 0.3 && math.Abs(o.Centroid.Y) < 0.3 {
+			found = true
+			if o.RSSLossDB < 14 || o.RSSLossDB > 23 {
+				t.Errorf("lamp RSS loss = %g dB, want 16-19", o.RSSLossDB)
+			}
+			if o.IsTag {
+				t.Error("lamp classified as tag")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("lamp cluster not found: %+v", res.Objects)
+	}
+}
+
+func TestTagSamplesFeedDecoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sc := buildScene(t, "1111", false, rng)
+	p := NewPipeline(radar.TI1443())
+	truth := passPositions(3, 300)
+	res, err := p.Run(sc, truth, truth, geom.Vec3{X: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TagIndex < 0 {
+		t.Fatal("tag not found")
+	}
+	if len(res.TagU) < 100 {
+		t.Fatalf("only %d tag samples", len(res.TagU))
+	}
+	dec, err := coding.NewDecoder(4, coding.DefaultDelta(), em.Lambda79())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dec.Decode(res.TagU, res.TagRSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coding.BitsString(out.Bits); got != "1111" {
+		t.Errorf("end-to-end decode = %q, want 1111 (SNR %g dB)", got, out.SNRdB)
+	}
+	if out.SNRdB < 10 {
+		t.Errorf("end-to-end SNR = %g dB, want >= 10", out.SNRdB)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sc := buildScene(t, "11", false, rng)
+	p := NewPipeline(radar.TI1443())
+	if _, err := p.Run(sc, nil, nil, geom.Vec3{}, rng); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+	truth := passPositions(3, 10)
+	if _, err := p.Run(sc, truth, truth[:5], geom.Vec3{}, rng); err == nil {
+		t.Error("mismatched estimates accepted")
+	}
+	bad := p
+	bad.Radar.NumRx = 0
+	if _, err := bad.Run(sc, truth, truth, geom.Vec3{}, rng); err == nil {
+		t.Error("invalid radar accepted")
+	}
+}
+
+func TestNoTagScene(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sc := &scene.Scene{Clutter: []*scene.Object{
+		scene.NewObject(scene.ClassStreetLamp, geom.Vec3{}, rng),
+	}}
+	p := NewPipeline(radar.TI1443())
+	truth := passPositions(3, 150)
+	res, err := p.Run(sc, truth, truth, geom.Vec3{X: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TagIndex >= 0 {
+		t.Errorf("false alarm: lamp classified as tag: %+v", res.Objects[res.TagIndex])
+	}
+}

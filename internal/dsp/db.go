@@ -1,0 +1,30 @@
+package dsp
+
+import "math"
+
+// DB converts a linear power ratio to decibels. Non-positive inputs map to
+// -Inf.
+func DB(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(p)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// AmpDB converts a linear amplitude ratio to decibels (20*log10).
+func AmpDB(a float64) float64 {
+	if a <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(a)
+}
+
+// AmpFromDB converts decibels to a linear amplitude ratio.
+func AmpFromDB(db float64) float64 {
+	return math.Pow(10, db/20)
+}

@@ -1,0 +1,208 @@
+// Package dsp provides the signal-processing substrate used throughout the
+// RoS reproduction: fast Fourier transforms, window functions, resampling of
+// non-uniform samples onto uniform grids, spectral peak detection, and the
+// on-off-keying (OOK) SNR/BER model from Sec 7.1 of the paper.
+//
+// Everything is implemented from scratch on top of the standard library so
+// the repository has no external dependencies.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two that is >= n.
+// NextPow2(0) == 1.
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// FFT computes the discrete Fourier transform of x and returns a new slice.
+//
+//	X[k] = sum_n x[n] * exp(-2*pi*i*k*n/N)
+//
+// Any length is accepted: power-of-two lengths use an iterative radix-2
+// Cooley-Tukey transform, other lengths fall back to Bluestein's chirp-z
+// algorithm. The input slice is not modified.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT computes the inverse discrete Fourier transform of x, including the
+// 1/N normalization, and returns a new slice.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	return out
+}
+
+// fftInPlace transforms x in place. If inverse is true the conjugate
+// transform with 1/N scaling is applied.
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if IsPow2(n) {
+		radix2(x, inverse)
+	} else {
+		bluestein(x, inverse)
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// radix2 is an iterative in-place Cooley-Tukey FFT for power-of-two lengths.
+// When inverse is set the twiddle factors are conjugated; scaling is left to
+// the caller.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for span := 1; span < n; span <<= 1 {
+		step := span << 1
+		theta := sign * math.Pi / float64(span)
+		wStep := cmplx.Exp(complex(0, theta))
+		for start := 0; start < n; start += step {
+			w := complex(1, 0)
+			for k := 0; k < span; k++ {
+				a := x[start+k]
+				b := x[start+k+span] * w
+				x[start+k] = a + b
+				x[start+k+span] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// expressing it as a convolution that is evaluated with power-of-two FFTs.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp w[k] = exp(sign * i*pi*k^2/n). Indices are reduced mod 2n to
+	// keep k^2 from losing precision for large n.
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := int64(k) * int64(k) % int64(2*n)
+		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+	}
+	m := NextPow2(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		b[k] = cmplx.Conj(w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(w[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * w[k]
+	}
+}
+
+// FFTShift reorders spectrum bins so the zero-frequency bin is centered,
+// matching the conventional two-sided spectrum layout. It returns a new
+// slice.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// FFTFreqs returns the frequency associated with each FFT bin for a
+// transform of length n over samples spaced d apart, in the standard FFT
+// order (DC first, then positive, then negative frequencies).
+func FFTFreqs(n int, d float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if d == 0 {
+		panic("dsp: FFTFreqs with zero sample spacing")
+	}
+	f := make([]float64, n)
+	for i := 0; i <= (n-1)/2; i++ {
+		f[i] = float64(i) / (float64(n) * d)
+	}
+	for i := (n-1)/2 + 1; i < n; i++ {
+		f[i] = float64(i-n) / (float64(n) * d)
+	}
+	return f
+}
+
+// Magnitude returns |x| element-wise.
+func Magnitude(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// Power returns |x|^2 element-wise.
+func Power(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		re, im := real(v), imag(v)
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// ZeroPad returns x extended with zeros to length n. It panics if n is
+// smaller than len(x).
+func ZeroPad(x []complex128, n int) []complex128 {
+	if n < len(x) {
+		panic(fmt.Sprintf("dsp: ZeroPad target %d shorter than input %d", n, len(x)))
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	return out
+}

@@ -1,0 +1,252 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n^2) reference implementation used to validate FFT.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := sign * 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		if inverse {
+			sum /= complex(float64(n), 0)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randomComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	worst := 0.0
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 65536} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false, want true", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 6, 12, 100} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true, want false", n)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFTPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randomComplex(rng, n)
+		got := FFT(x)
+		want := naiveDFT(x, false)
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: FFT differs from naive DFT by %g", n, e)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFTArbitrary(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 6, 7, 9, 11, 12, 15, 17, 100, 255} {
+		x := randomComplex(rng, n)
+		got := FFT(x)
+		want := naiveDFT(x, false)
+		if e := maxErr(got, want); e > 1e-8*float64(n) {
+			t.Errorf("n=%d: Bluestein FFT differs from naive DFT by %g", n, e)
+		}
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 7, 16, 33, 128, 129} {
+		x := randomComplex(rng, n)
+		back := IFFT(FFT(x))
+		if e := maxErr(back, x); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: IFFT(FFT(x)) differs from x by %g", n, e)
+		}
+	}
+}
+
+func TestFFTDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randomComplex(rng, 16)
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	FFT(x)
+	IFFT(x)
+	if e := maxErr(x, orig); e != 0 {
+		t.Errorf("FFT/IFFT modified their input (max diff %g)", e)
+	}
+}
+
+func TestFFTSingleToneBin(t *testing.T) {
+	// A complex exponential at bin k must concentrate all energy in bin k.
+	n, k := 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(k)*float64(i)/float64(n)))
+	}
+	spec := FFT(x)
+	for i, v := range spec {
+		want := 0.0
+		if i == k {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Errorf("bin %d amplitude = %g, want %g", i, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Property: sum |x|^2 == (1/N) sum |X|^2.
+	f := func(re, im [8]float64) bool {
+		x := make([]complex128, 8)
+		for i := range x {
+			// Skip extreme magnitudes whose squared energy overflows.
+			if math.Abs(re[i]) > 1e6 || math.Abs(im[i]) > 1e6 {
+				return true
+			}
+			x[i] = complex(re[i], im[i])
+		}
+		spec := FFT(x)
+		var et, ef float64
+		for i := range x {
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			ef += real(spec[i])*real(spec[i]) + imag(spec[i])*imag(spec[i])
+		}
+		ef /= 8
+		return math.Abs(et-ef) <= 1e-9*(1+et)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	// Property: FFT(a*x + y) == a*FFT(x) + FFT(y).
+	f := func(xr, yr [16]float64, a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+			return true
+		}
+		x := make([]complex128, 16)
+		y := make([]complex128, 16)
+		z := make([]complex128, 16)
+		for i := range x {
+			x[i] = complex(xr[i], 0)
+			y[i] = complex(yr[i], 0)
+			z[i] = complex(a, 0)*x[i] + y[i]
+		}
+		fx, fy, fz := FFT(x), FFT(y), FFT(z)
+		for i := range fz {
+			want := complex(a, 0)*fx[i] + fy[i]
+			if cmplx.Abs(fz[i]-want) > 1e-6*(1+cmplx.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTShift(t *testing.T) {
+	x := []complex128{0, 1, 2, 3}
+	got := FFTShift(x)
+	want := []complex128{2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FFTShift = %v, want %v", got, want)
+		}
+	}
+	odd := []complex128{0, 1, 2, 3, 4}
+	gotOdd := FFTShift(odd)
+	wantOdd := []complex128{3, 4, 0, 1, 2}
+	for i := range wantOdd {
+		if gotOdd[i] != wantOdd[i] {
+			t.Fatalf("FFTShift odd = %v, want %v", gotOdd, wantOdd)
+		}
+	}
+}
+
+func TestFFTFreqs(t *testing.T) {
+	f := FFTFreqs(4, 0.5)
+	want := []float64{0, 0.5, -1, -0.5}
+	for i := range want {
+		if math.Abs(f[i]-want[i]) > 1e-12 {
+			t.Fatalf("FFTFreqs(4, 0.5) = %v, want %v", f, want)
+		}
+	}
+	if got := FFTFreqs(0, 1); got != nil {
+		t.Errorf("FFTFreqs(0, 1) = %v, want nil", got)
+	}
+}
+
+func TestZeroPad(t *testing.T) {
+	x := []complex128{1, 2}
+	p := ZeroPad(x, 4)
+	if len(p) != 4 || p[0] != 1 || p[1] != 2 || p[2] != 0 || p[3] != 0 {
+		t.Errorf("ZeroPad = %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ZeroPad with shrinking target did not panic")
+		}
+	}()
+	ZeroPad(x, 1)
+}
+
+func TestMagnitudePower(t *testing.T) {
+	x := []complex128{3 + 4i, 0, -2}
+	mag := Magnitude(x)
+	pow := Power(x)
+	wantMag := []float64{5, 0, 2}
+	wantPow := []float64{25, 0, 4}
+	for i := range x {
+		if math.Abs(mag[i]-wantMag[i]) > 1e-12 {
+			t.Errorf("Magnitude[%d] = %g, want %g", i, mag[i], wantMag[i])
+		}
+		if math.Abs(pow[i]-wantPow[i]) > 1e-12 {
+			t.Errorf("Power[%d] = %g, want %g", i, pow[i], wantPow[i])
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package dsp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Resample linearly interpolates the samples (xs, ys) onto a uniform grid of
+// n points spanning [x0, x1]. The input need not be sorted; it is sorted by
+// x internally (the inputs are not modified). Points outside the input span
+// are clamped to the nearest sample. It returns the uniform grid and the
+// interpolated values.
+//
+// An error is returned if fewer than two samples are supplied, the slice
+// lengths differ, n < 2, or x1 <= x0.
+func Resample(xs, ys []float64, x0, x1 float64, n int) (grid, vals []float64, err error) {
+	if len(xs) != len(ys) {
+		return nil, nil, fmt.Errorf("dsp: Resample length mismatch: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return nil, nil, fmt.Errorf("dsp: Resample needs at least 2 samples, got %d", len(xs))
+	}
+	if n < 2 {
+		return nil, nil, fmt.Errorf("dsp: Resample target grid must have at least 2 points, got %d", n)
+	}
+	if x1 <= x0 {
+		return nil, nil, fmt.Errorf("dsp: Resample requires x1 > x0, got [%g, %g]", x0, x1)
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	sx := make([]float64, len(xs))
+	sy := make([]float64, len(ys))
+	for i, j := range idx {
+		sx[i] = xs[j]
+		sy[i] = ys[j]
+	}
+
+	grid = make([]float64, n)
+	vals = make([]float64, n)
+	step := (x1 - x0) / float64(n-1)
+	j := 0
+	for i := 0; i < n; i++ {
+		x := x0 + float64(i)*step
+		grid[i] = x
+		for j < len(sx)-2 && sx[j+1] < x {
+			j++
+		}
+		vals[i] = lerpClamped(sx, sy, j, x)
+	}
+	return grid, vals, nil
+}
+
+// lerpClamped interpolates between samples j and j+1, clamping outside the
+// covered span.
+func lerpClamped(sx, sy []float64, j int, x float64) float64 {
+	if x <= sx[0] {
+		return sy[0]
+	}
+	if x >= sx[len(sx)-1] {
+		return sy[len(sy)-1]
+	}
+	x0, x1 := sx[j], sx[j+1]
+	if x1 == x0 {
+		return sy[j]
+	}
+	t := (x - x0) / (x1 - x0)
+	return sy[j]*(1-t) + sy[j+1]*t
+}
+
+// Detrend divides ys by a moving-average envelope of half-window hw samples
+// and returns the detrended series together with the envelope. It is used to
+// strip the slowly varying single-stack RCS envelope r_T(theta) from the
+// multi-stack interference pattern before spectral analysis (Sec 5.1).
+// Envelope entries are floored at a small fraction of the series mean so the
+// division never blows up in nulls.
+func Detrend(ys []float64, hw int) (detrended, envelope []float64) {
+	n := len(ys)
+	detrended = make([]float64, n)
+	envelope = make([]float64, n)
+	if n == 0 {
+		return
+	}
+	if hw < 1 {
+		hw = 1
+	}
+	// Prefix sums for O(n) moving average.
+	prefix := make([]float64, n+1)
+	for i, v := range ys {
+		prefix[i+1] = prefix[i] + v
+	}
+	mean := prefix[n] / float64(n)
+	floor := mean * 1e-6
+	if floor <= 0 {
+		floor = 1e-30
+	}
+	for i := 0; i < n; i++ {
+		lo := i - hw
+		hi := i + hw
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		env := (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+		if env < floor {
+			env = floor
+		}
+		envelope[i] = env
+		detrended[i] = ys[i] / env
+	}
+	return
+}

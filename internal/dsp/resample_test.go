@@ -1,0 +1,159 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResampleLinearFunction(t *testing.T) {
+	// Resampling a linear function must be exact regardless of the input
+	// sample placement.
+	xs := []float64{0, 0.3, 1.1, 2.0, 3.7, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2*x + 1
+	}
+	grid, vals, err := Resample(xs, ys, 0.5, 4.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range grid {
+		want := 2*grid[i] + 1
+		if math.Abs(vals[i]-want) > 1e-12 {
+			t.Errorf("vals[%d] = %g at x=%g, want %g", i, vals[i], grid[i], want)
+		}
+	}
+}
+
+func TestResampleUnsortedInput(t *testing.T) {
+	xs := []float64{3, 1, 2, 0}
+	ys := []float64{9, 1, 4, 0} // y = x^2 at those points
+	_, vals, err := Resample(xs, ys, 0, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 4, 9}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Errorf("vals[%d] = %g, want %g", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestResampleClampsOutsideSpan(t *testing.T) {
+	xs := []float64{1, 2}
+	ys := []float64{10, 20}
+	_, vals, err := Resample(xs, ys, 0, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 10 {
+		t.Errorf("left clamp = %g, want 10", vals[0])
+	}
+	if vals[3] != 20 {
+		t.Errorf("right clamp = %g, want 20", vals[3])
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	if _, _, err := Resample([]float64{1, 2}, []float64{1}, 0, 1, 4); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, _, err := Resample([]float64{1}, []float64{1}, 0, 1, 4); err == nil {
+		t.Error("single sample not rejected")
+	}
+	if _, _, err := Resample([]float64{1, 2}, []float64{1, 2}, 0, 1, 1); err == nil {
+		t.Error("n < 2 not rejected")
+	}
+	if _, _, err := Resample([]float64{1, 2}, []float64{1, 2}, 2, 1, 4); err == nil {
+		t.Error("x1 <= x0 not rejected")
+	}
+}
+
+func TestResampleDoesNotModifyInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	ys := []float64{30, 10, 20}
+	_, _, err := Resample(xs, ys, 1, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("xs modified: %v", xs)
+	}
+	if ys[0] != 30 || ys[1] != 10 || ys[2] != 20 {
+		t.Errorf("ys modified: %v", ys)
+	}
+}
+
+func TestResampleGridProperty(t *testing.T) {
+	// Property: output grid is uniform, spans [x0, x1], and values stay
+	// within the min/max of the inputs (linear interpolation cannot
+	// overshoot).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			ys[i] = rng.Float64() * 5
+		}
+		// Ensure at least two distinct xs.
+		xs[0], xs[1] = 0, 10
+		grid, vals, err := Resample(xs, ys, 1, 9, 17)
+		if err != nil {
+			return false
+		}
+		lo, _ := Min(ys)
+		hi, _ := Max(ys)
+		step := grid[1] - grid[0]
+		for i := range grid {
+			if i > 0 && math.Abs(grid[i]-grid[i-1]-step) > 1e-9 {
+				return false
+			}
+			if vals[i] < lo-1e-9 || vals[i] > hi+1e-9 {
+				return false
+			}
+		}
+		return math.Abs(grid[0]-1) < 1e-12 && math.Abs(grid[16]-9) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetrendFlattensEnvelope(t *testing.T) {
+	// A slowly varying envelope times a fast ripple: detrending should
+	// recover a series with mean ~1 regardless of the envelope.
+	n := 400
+	ys := make([]float64, n)
+	for i := range ys {
+		env := 5 + 4*math.Sin(float64(i)/200)
+		ripple := 1 + 0.3*math.Cos(float64(i)*0.9)
+		ys[i] = env * ripple
+	}
+	det, envEst := Detrend(ys, 25)
+	if m := Mean(det); math.Abs(m-1) > 0.05 {
+		t.Errorf("detrended mean = %g, want ~1", m)
+	}
+	for i, e := range envEst {
+		if e <= 0 {
+			t.Fatalf("envelope[%d] = %g, want > 0", i, e)
+		}
+	}
+}
+
+func TestDetrendEdgeCases(t *testing.T) {
+	det, env := Detrend(nil, 4)
+	if len(det) != 0 || len(env) != 0 {
+		t.Errorf("Detrend(nil) = %v, %v", det, env)
+	}
+	det, _ = Detrend([]float64{0, 0, 0}, 0)
+	for _, v := range det {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("Detrend of zeros produced %g", v)
+		}
+	}
+}

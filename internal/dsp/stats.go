@@ -1,0 +1,97 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x))
+}
+
+// Variance returns the population variance of x, or 0 for fewer than two
+// samples.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	sum := 0.0
+	for _, v := range x {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 {
+	return math.Sqrt(Variance(x))
+}
+
+// Median returns the median of x, or 0 for an empty slice. x is not
+// modified.
+func Median(x []float64) float64 {
+	return Percentile(x, 50)
+}
+
+// Percentile returns the p-th percentile (0..100) of x using linear
+// interpolation between closest ranks. x is not modified.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := make([]float64, len(x))
+	copy(s, x)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Max returns the maximum of x and its index, or (0, -1) for an empty slice.
+func Max(x []float64) (float64, int) {
+	if len(x) == 0 {
+		return 0, -1
+	}
+	best, idx := x[0], 0
+	for i, v := range x {
+		if v > best {
+			best, idx = v, i
+		}
+	}
+	return best, idx
+}
+
+// Min returns the minimum of x and its index, or (0, -1) for an empty slice.
+func Min(x []float64) (float64, int) {
+	if len(x) == 0 {
+		return 0, -1
+	}
+	best, idx := x[0], 0
+	for i, v := range x {
+		if v < best {
+			best, idx = v, i
+		}
+	}
+	return best, idx
+}

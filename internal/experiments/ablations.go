@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"math"
+
+	"ros/internal/coding"
+	"ros/internal/dsp"
+	"ros/internal/em"
+	"ros/internal/radar"
+	"ros/internal/sim"
+)
+
+// Ablations of the design choices DESIGN.md calls out, beyond the paper's
+// own figures: each quantifies how much one mechanism contributes to the
+// working system.
+
+// decodeWith re-decodes a pass's tag samples with custom spectrum options.
+func decodeWith(out *sim.Outcome, window dsp.Window, disableDetrend bool) float64 {
+	if !out.Detected || len(out.Detection.TagU) < 16 {
+		return math.Inf(-1)
+	}
+	dec, err := coding.NewDecoder(4, coding.DefaultDelta(), em.Lambda79())
+	if err != nil {
+		panic(err)
+	}
+	dec.Options.Window = window
+	dec.Options.DisableDetrend = disableDetrend
+	res, err := dec.Decode(out.Detection.TagU, out.Detection.TagRSS)
+	if err != nil {
+		return math.Inf(-1)
+	}
+	return res.SNRdB
+}
+
+// AblationPolSwitch quantifies Sec 4.2's claim that "the benefit from
+// polarization switching is more than 14 dB": decoding with the PSVAA
+// against the same pass with a plain (co-polarized) VAA tag amid clutter.
+func AblationPolSwitch() *Table {
+	t := &Table{
+		ID:      "Ablation: polarization switching",
+		Title:   "decoding with vs without the PSVAA's polarization switching (clutter present)",
+		Columns: []string{"configuration", "SNR (dB)", "bits"},
+		Notes: "paper Sec 4.2: switching costs 6 dB of RCS but buys > 14 dB " +
+			"of clutter suppression — a clear net win near clutter",
+	}
+	on := mustRun(sim.DriveBy{BeamShaped: true, WithClutter: true, Seed: 500})
+	off := mustRun(sim.DriveBy{BeamShaped: true, WithClutter: true, DisablePolSwitching: true, Seed: 500})
+	t.AddRow("PSVAA (switching on)", snrCell(on), on.Bits)
+	t.AddRow("plain VAA (switching off)", snrCell(off), off.Bits)
+	if on.Detected && off.Detected && !math.IsInf(off.SNRdB, -1) {
+		t.AddRow("switching benefit (dB)", f1(on.SNRdB-off.SNRdB), "")
+	}
+	return t
+}
+
+// AblationWindow compares spectral windows in the decoder.
+func AblationWindow() *Table {
+	t := &Table{
+		ID:      "Ablation: spectrum window",
+		Title:   "decoder window choice on the same pass",
+		Columns: []string{"window", "SNR (dB)"},
+		Notes: "rectangular leaks strong coding peaks into neighbouring " +
+			"slots; Hann (the default) balances leakage and resolution",
+	}
+	out := mustRun(sim.DriveBy{BeamShaped: true, WithClutter: true, Seed: 501})
+	for _, w := range []dsp.Window{dsp.Rectangular, dsp.Hann, dsp.Hamming, dsp.Blackman} {
+		snr := decodeWith(out, w, false)
+		cell := "lost"
+		if !math.IsInf(snr, -1) {
+			cell = f1(snr)
+		}
+		t.AddRow(w.String(), cell)
+	}
+	return t
+}
+
+// AblationDetrend compares decoding with and without stripping the
+// single-stack envelope r_T(theta) before the FFT (Sec 5.1/6).
+func AblationDetrend() *Table {
+	t := &Table{
+		ID:      "Ablation: envelope detrending",
+		Title:   "decoding with vs without r_T(theta) envelope removal",
+		Columns: []string{"configuration", "SNR (dB)"},
+		Notes: "the slowly varying single-stack envelope leaks low-frequency " +
+			"energy across the coding band unless removed (Sec 6's " +
+			"normalization step)",
+	}
+	out := mustRun(sim.DriveBy{BeamShaped: true, Seed: 502})
+	with := decodeWith(out, dsp.Hann, false)
+	without := decodeWith(out, dsp.Hann, true)
+	cell := func(v float64) string {
+		if math.IsInf(v, -1) {
+			return "lost"
+		}
+		return f1(v)
+	}
+	t.AddRow("with detrending", cell(with))
+	t.AddRow("without detrending", cell(without))
+	return t
+}
+
+// AblationSampling sweeps the per-pass frame budget against Eq 9's Nyquist
+// requirement.
+func AblationSampling() *Table {
+	t := &Table{
+		ID:      "Ablation: RCS sampling density",
+		Title:   "decoding SNR vs frames per pass (Eq 9 Nyquist bound)",
+		Columns: []string{"frames", "SNR (dB)", "bits"},
+		Notes: "the fastest coding tone needs ~60 samples over the pass " +
+			"(Sec 5.3); oversampling beyond that buys averaging gain",
+	}
+	for _, frames := range []int{48, 96, 192, 280} {
+		out := mustRun(sim.DriveBy{BeamShaped: true, FrameBudget: frames, Seed: 503})
+		t.AddRow(itoa(frames), snrCell(out), out.Bits)
+	}
+	return t
+}
+
+// AblationGroundMultipath adds the two-ray road bounce the paper's
+// evaluation setup avoids (tags on tripods, short ranges) and shows the
+// frequency-domain code shrugging it off.
+func AblationGroundMultipath() *Table {
+	t := &Table{
+		ID:      "Ablation: ground multipath",
+		Title:   "two-ray road-surface bounce on vs off",
+		Columns: []string{"distance (m)", "flat channel", "with ground bounce"},
+		Notes: "the bounce adds a slowly varying interference envelope; " +
+			"detrending strips most of it so decoding usually survives with a " +
+			"few dB penalty, though a deep bounce null can still defeat " +
+			"detection at unlucky geometries",
+	}
+	for _, d := range []float64{2, 3, 4} {
+		flat := mustRun(sim.DriveBy{BeamShaped: true, Standoff: d, Seed: 800 + int64(d)})
+		bounce := mustRun(sim.DriveBy{BeamShaped: true, Standoff: d, GroundMultipath: true, Seed: 800 + int64(d)})
+		t.AddRow(f1(d), snrCell(flat), snrCell(bounce))
+	}
+	return t
+}
+
+// AblationADC sweeps the baseband converter resolution.
+func AblationADC() *Table {
+	t := &Table{
+		ID:      "Ablation: ADC resolution",
+		Title:   "decoding SNR vs baseband ADC bits",
+		Columns: []string{"ADC bits", "SNR (dB)", "bits"},
+		Notes: "the TI radar digitizes at 12+ bits; the spatial code keeps " +
+			"working down to coarse converters because the coding information " +
+			"lives in peak positions, not fine amplitudes",
+	}
+	for _, bits := range []int{4, 6, 8, 12} {
+		cfg := radar.TI1443()
+		cfg.ADCBits = bits
+		out := mustRun(sim.DriveBy{BeamShaped: true, Radar: &cfg, Seed: 801})
+		t.AddRow(itoa(bits), snrCell(out), out.Bits)
+	}
+	ideal := mustRun(sim.DriveBy{BeamShaped: true, Seed: 801})
+	t.AddRow("ideal", snrCell(ideal), ideal.Bits)
+	return t
+}
+
+// AblationWavelength probes the decoder's sensitivity to an incorrect
+// wavelength assumption: the spacing axis of the RCS spectrum scales with
+// lambda, so a mis-assumed carrier shifts every coding peak off its slot.
+func AblationWavelength() *Table {
+	t := &Table{
+		ID:      "Ablation: wavelength assumption",
+		Title:   "decoding with a wrong carrier-frequency assumption",
+		Columns: []string{"assumed carrier (GHz)", "SNR (dB)", "bits"},
+		Notes: "peaks live at 2*d/lambda cycles per unit u; a ~3 GHz (4%) " +
+			"carrier error shifts the 10.5-lambda peak by ~0.4 lambda, " +
+			"half a slot tolerance — the decoder must know the band it reads",
+	}
+	out := mustRun(sim.DriveBy{BeamShaped: true, Seed: 810})
+	if !out.Detected {
+		t.AddRow("n/a", "lost", "")
+		return t
+	}
+	for _, ghz := range []float64{73, 76, 79, 82, 85} {
+		lambda := em.C / (ghz * 1e9)
+		dec, err := coding.NewDecoder(4, coding.DefaultDelta(), lambda)
+		if err != nil {
+			panic(err)
+		}
+		res, err := dec.Decode(out.Detection.TagU, out.Detection.TagRSS)
+		if err != nil {
+			t.AddRow(f1(ghz), "lost", "")
+			continue
+		}
+		t.AddRow(f1(ghz), f1(res.SNRdB), coding.BitsString(res.Bits))
+	}
+	return t
+}

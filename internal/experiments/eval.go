@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"math"
+
+	"ros/internal/em"
+	"ros/internal/geom"
+	"ros/internal/sim"
+	"ros/internal/sweep"
+)
+
+// mustRun executes a drive-by and panics on configuration errors
+// (experiment definitions are static, so errors are programmer errors).
+func mustRun(cfg sim.DriveBy) *sim.Outcome {
+	out, err := sim.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// runAll executes independent drive-bys on a worker pool, preserving order.
+func runAll(cfgs []sim.DriveBy) []*sim.Outcome {
+	outs, err := sweep.Map(cfgs, 0, sim.Run)
+	if err != nil {
+		panic(err)
+	}
+	return outs
+}
+
+// snrCell formats an SNR, marking failed reads.
+func snrCell(o *sim.Outcome) string {
+	if !o.Detected || math.IsInf(o.SNRdB, -1) {
+		return "lost"
+	}
+	return f1(o.SNRdB)
+}
+
+// rssCell formats a median RSS.
+func rssCell(o *sim.Outcome) string {
+	if !o.Detected || math.IsInf(o.MedianRSSdBm, -1) {
+		return "lost"
+	}
+	return f1(o.MedianRSSdBm)
+}
+
+// Fig14 regenerates Fig 14: RSS and decoding SNR vs elevation angle for
+// beam-shaped tags and the unshaped baseline, radar fixed 3 m away.
+func Fig14() *Table {
+	t := &Table{
+		ID:    "Fig 14",
+		Title: "elevation misalignment, 3 m standoff: beam shaping vs baseline",
+		Columns: []string{"elevation (deg)", "shaped RSS (dBm)", "baseline RSS (dBm)",
+			"shaped SNR (dB)", "baseline SNR (dB)"},
+		Notes: "paper: shaped tags stay > 15 dB SNR across 0-4 deg; the " +
+			"baseline varies wildly and dips to ~10 dB",
+	}
+	degs := []float64{0, 1, 2, 3, 4}
+	var cfgs []sim.DriveBy
+	for _, deg := range degs {
+		h := 3 * math.Tan(geom.Rad(deg))
+		cfgs = append(cfgs,
+			sim.DriveBy{BeamShaped: true, HeightOffset: h, Seed: 140 + int64(deg*10)},
+			sim.DriveBy{BeamShaped: false, HeightOffset: h, Seed: 140 + int64(deg*10)})
+	}
+	outs := runAll(cfgs)
+	for i, deg := range degs {
+		shaped, base := outs[2*i], outs[2*i+1]
+		t.AddRow(f1(deg), rssCell(shaped), rssCell(base), snrCell(shaped), snrCell(base))
+	}
+	return t
+}
+
+// Fig15 regenerates Fig 15: RSS and SNR vs radar-to-tag distance for tags
+// with 8, 16 and 32 PSVAAs per stack.
+func Fig15() *Table {
+	t := &Table{
+		ID:    "Fig 15",
+		Title: "radar-to-tag distance sweep for 8/16/32-module stacks",
+		Columns: []string{"distance (m)", "RSS 8 (dBm)", "RSS 16", "RSS 32",
+			"SNR 8 (dB)", "SNR 16", "SNR 32"},
+		Notes: "paper: RSS follows the d^-4 law; 8/16/32-module tags decodable " +
+			"to ~4/5/6 m; the 32-module tag pays a near-field SNR penalty " +
+			"(its far field is ~6 m), so 8/16 show statistically higher SNR",
+	}
+	dists := []float64{2, 3, 4, 5, 6}
+	mods := []int{8, 16, 32}
+	var cfgs []sim.DriveBy
+	for _, d := range dists {
+		for _, mod := range mods {
+			cfgs = append(cfgs, sim.DriveBy{
+				BeamShaped: true, StackModules: mod, Standoff: d,
+				Seed: 150 + int64(d*10) + int64(mod),
+			})
+		}
+	}
+	outs := runAll(cfgs)
+	for i, d := range dists {
+		row := []string{f1(d)}
+		group := outs[i*len(mods) : (i+1)*len(mods)]
+		for _, o := range group {
+			row = append(row, rssCell(o))
+		}
+		for _, o := range group {
+			row = append(row, snrCell(o))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig16a regenerates Fig 16a: two tags side by side at spread angles of
+// 10-30 degrees.
+func Fig16a() *Table {
+	t := &Table{
+		ID:      "Fig 16a",
+		Title:   "adjacent-tag interference vs spread angle (two tags, 3 m)",
+		Columns: []string{"spread angle (deg)", "SNR (dB)"},
+		Notes:   "paper: SNR only slightly increases with spread angle, staying well above 15 dB",
+	}
+	angles := []float64{10, 15, 20, 25, 30}
+	var cfgs []sim.DriveBy
+	for _, a := range angles {
+		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, SecondTagSpreadDeg: a, Seed: 160 + int64(a)})
+	}
+	outs := runAll(cfgs)
+	for i, a := range angles {
+		t.AddRow(f1(a), snrCell(outs[i]))
+	}
+	return t
+}
+
+// Fig16b regenerates Fig 16b: a second interrogating radar 1-3 m away.
+func Fig16b() *Table {
+	t := &Table{
+		ID:      "Fig 16b",
+		Title:   "adjacent-radar interference vs radar separation",
+		Columns: []string{"separation (m)", "SNR (dB)"},
+		Notes: "paper: SNR slightly increases with separation and stays above " +
+			"15 dB even at 1 m (retroreflection suppresses cross-radar paths)",
+	}
+	seps := []float64{1, 1.5, 2, 2.5, 3}
+	var cfgs []sim.DriveBy
+	for _, s := range seps {
+		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, InterfererSeparation: s, Seed: 161 + int64(s*10)})
+	}
+	outs := runAll(cfgs)
+	for i, s := range seps {
+		t.AddRow(f1(s), snrCell(outs[i]))
+	}
+	return t
+}
+
+// Fig16c regenerates Fig 16c: decoding under fog.
+func Fig16c() *Table {
+	t := &Table{
+		ID:      "Fig 16c",
+		Title:   "decoding SNR under fog",
+		Columns: []string{"fog level", "SNR (dB)"},
+		Notes:   "paper: median SNR stays above 15 dB at every fog level",
+	}
+	for _, fog := range []em.FogLevel{em.FogClear, em.FogLight, em.FogHeavy} {
+		out := mustRun(sim.DriveBy{BeamShaped: true, Fog: fog, Seed: 162 + int64(fog)})
+		t.AddRow(fog.String(), snrCell(out))
+	}
+	return t
+}
+
+// Fig16d regenerates Fig 16d: decoding vs relative self-tracking error.
+func Fig16d() *Table {
+	t := &Table{
+		ID:      "Fig 16d",
+		Title:   "decoding SNR vs relative tracking error",
+		Columns: []string{"tracking error (%)", "SNR (dB)", "bits"},
+		Notes: "paper: ~20 dB below 6% error, decreasing beyond as the coding " +
+			"peaks distort",
+	}
+	pcts := []float64{0, 2, 4, 6, 8, 10}
+	var cfgs []sim.DriveBy
+	for _, pct := range pcts {
+		for s := int64(0); s < 3; s++ {
+			cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, TrackingError: pct / 100, Seed: 163 + s})
+		}
+	}
+	outs := runAll(cfgs)
+	for i, pct := range pcts {
+		// Median over three drift realizations (the paper reports
+		// medians across repeated reads).
+		var snrs []float64
+		bits := ""
+		for _, out := range outs[3*i : 3*i+3] {
+			if out.Detected && !math.IsInf(out.SNRdB, -1) {
+				snrs = append(snrs, out.SNRdB)
+				bits = out.Bits
+			}
+		}
+		if len(snrs) == 0 {
+			t.AddRow(f1(pct), "lost", "")
+			continue
+		}
+		t.AddRow(f1(pct), f1(median(snrs)), bits)
+	}
+	return t
+}
+
+// Fig17 regenerates Fig 17: decoding vs the angular field of view over which
+// the RCS is sampled.
+func Fig17() *Table {
+	t := &Table{
+		ID:      "Fig 17",
+		Title:   "decoding SNR vs angular field of view",
+		Columns: []string{"FoV (deg)", "SNR (dB)", "bits"},
+		Notes: "paper: SNR rises from 20 to ~80 deg and dips slightly at 100 " +
+			"(samples beyond the radar's 60 deg antenna FoV are noise); 60 deg " +
+			"suffices",
+	}
+	fovs := []float64{20, 40, 60, 80, 100}
+	var cfgs []sim.DriveBy
+	for _, fov := range fovs {
+		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, FoVDeg: fov, Seed: 170})
+	}
+	outs := runAll(cfgs)
+	for i, fov := range fovs {
+		t.AddRow(f1(fov), snrCell(outs[i]), outs[i].Bits)
+	}
+	return t
+}
+
+// Fig18 regenerates Fig 18: decoding vs vehicle speed.
+func Fig18() *Table {
+	t := &Table{
+		ID:      "Fig 18",
+		Title:   "decoding SNR vs vehicle speed",
+		Columns: []string{"speed (mph)", "SNR (dB)", "bits"},
+		Notes: "paper: SNR varies with driving dynamics but consistently " +
+			"exceeds 14 dB; Doppler is negligible",
+	}
+	mphs := []float64{10, 15, 20, 25, 30}
+	var cfgs []sim.DriveBy
+	for _, mph := range mphs {
+		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, Speed: geom.MPH(mph), Seed: 180 + int64(mph)})
+	}
+	outs := runAll(cfgs)
+	for i, mph := range mphs {
+		t.AddRow(f1(mph), snrCell(outs[i]), outs[i].Bits)
+	}
+	return t
+}
+
+// LinkBudget regenerates the Sec 5.3 / Sec 8 link-budget table.
+func LinkBudget() *Table {
+	t := &Table{
+		ID:      "Link budget",
+		Title:   "Sec 5.3 link budget and maximum reading range",
+		Columns: []string{"quantity", "TI IWR1443", "commercial", "paper"},
+		Notes:   "paper: -62 dBm floor and 6.9 m for the TI radar; 52 m for a commercial radar",
+	}
+	ti := em.TIRadar()
+	com := em.CommercialRadar()
+	t.AddRow("EIRP (dBm)", f1(ti.EIRPdBm), f1(com.EIRPdBm), "21 / 50")
+	t.AddRow("noise figure (dB)", f1(ti.NoiseFigureDB), f1(com.NoiseFigureDB), "15 / 9")
+	t.AddRow("Rx gain (dB)", f1(ti.RxGainDB()), f1(com.RxGainDB()), "55")
+	t.AddRow("noise floor (dBm)", f1(ti.NoiseFloorDBm()), f1(com.NoiseFloorDBm()), "-62 (TI)")
+	t.AddRow("tag RCS (dBsm)", f1(em.TagRCS32StackDBsm), f1(em.TagRCS32StackDBsm), "-23")
+	t.AddRow("max range (m)",
+		f2(ti.MaxRange(em.TagRCS32StackDBsm, fc)),
+		f2(com.MaxRange(em.TagRCS32StackDBsm, fc)),
+		"6.9 / 52")
+	return t
+}

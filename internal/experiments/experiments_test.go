@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cellFloat parses a numeric table cell.
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestTableString(t *testing.T) {
+	tab := &Table{
+		ID:      "Fig X",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Notes:   "shape",
+	}
+	tab.AddRow("1", "2")
+	s := tab.String()
+	for _, want := range []string{"Fig X", "demo", "a", "b", "1", "2", "note: shape"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRegistryCoversAllPaperArtifacts(t *testing.T) {
+	want := []string{
+		"Fig 3", "Fig 4a", "Fig 4b", "Fig 5", "Fig 6", "Fig 8",
+		"Fig 10", "Fig 11", "Fig 13", "Fig 14", "Fig 15",
+		"Fig 16a", "Fig 16b", "Fig 16c", "Fig 16d", "Fig 17", "Fig 18",
+		"Link budget", "Capacity", "Pair bound",
+		"Ablation: polarization switching", "Ablation: spectrum window",
+		"Ablation: envelope detrending", "Ablation: RCS sampling density",
+		"Ablation: ground multipath", "Ablation: wavelength assumption",
+		"Ablation: ADC resolution",
+		"Extension: circular polarization", "Extension: ASK modulation",
+		"Extension: near-field focusing", "Extension: occlusion",
+		"Extension: elevation monopulse", "Extension: localization",
+		"Extension: rain", "Extension: commercial range",
+		"Monte Carlo BER",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %q, want %q", i, reg[i].ID, id)
+		}
+		if reg[i].Run == nil {
+			t.Errorf("registry[%d] has nil generator", i)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if g := ByID("fig15"); g == nil || g.ID != "Fig 15" {
+		t.Errorf("ByID(fig15) = %+v", g)
+	}
+	if g := ByID("LINK BUDGET"); g == nil {
+		t.Error("ByID case-insensitivity broken")
+	}
+	if g := ByID("fig 99"); g != nil {
+		t.Errorf("ByID(fig 99) = %+v, want nil", g)
+	}
+}
+
+func TestFig03ShapePerPairOptimum(t *testing.T) {
+	tab := Fig03()
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "best" || last[1] != "3" {
+		t.Errorf("Fig 3 best pairs = %v, want 3", last)
+	}
+}
+
+func TestFig04aShape(t *testing.T) {
+	tab := Fig04a()
+	// Locate the broadside and 60-degree rows.
+	var vaa0, ula0, vaa60, ula60 float64
+	for _, r := range tab.Rows {
+		switch r[0] {
+		case "0.0":
+			vaa0, ula0 = cellFloat(t, r[1]), cellFloat(t, r[2])
+		case "60.0":
+			vaa60, ula60 = cellFloat(t, r[1]), cellFloat(t, r[2])
+		}
+	}
+	if vaa0-vaa60 > 8 {
+		t.Errorf("VAA rolls off %g dB at 60 deg, want flat", vaa0-vaa60)
+	}
+	if ula0-ula60 < 15 {
+		t.Errorf("ULA rolls off only %g dB at 60 deg, want specular", ula0-ula60)
+	}
+}
+
+func TestFig05ShapeCrossPolGap(t *testing.T) {
+	tab := Fig05()
+	for _, r := range tab.Rows {
+		if r[0] != "0.0" {
+			continue
+		}
+		psvaa := cellFloat(t, r[1])
+		vaaLeak := cellFloat(t, r[2])
+		if gap := psvaa - vaaLeak; gap < 9 || gap > 15 {
+			t.Errorf("cross-pol gap = %g dB, want ~12", gap)
+		}
+	}
+}
+
+func TestLinkBudgetShape(t *testing.T) {
+	tab := LinkBudget()
+	for _, r := range tab.Rows {
+		if r[0] == "max range (m)" {
+			ti := cellFloat(t, r[1])
+			com := cellFloat(t, r[2])
+			if ti < 6.4 || ti > 7.5 {
+				t.Errorf("TI max range = %g, want ~6.9", ti)
+			}
+			if com < 48 || com > 57 {
+				t.Errorf("commercial max range = %g, want ~52", com)
+			}
+		}
+	}
+}
+
+func TestCapacityShape(t *testing.T) {
+	tab := Capacity()
+	// Far field grows with bits; the 4-bit row matches the paper's 2.9 m.
+	prev := 0.0
+	for _, r := range tab.Rows {
+		ff := cellFloat(t, r[3])
+		if ff <= prev {
+			t.Errorf("far field not monotone at %s bits", r[0])
+		}
+		prev = ff
+		if r[0] == "4" {
+			if w := cellFloat(t, r[1]); w != 22.5 {
+				t.Errorf("4-bit width = %g lambda, want 22.5", w)
+			}
+			if ff < 2.7 || ff > 3.1 {
+				t.Errorf("4-bit far field = %g, want ~2.9", ff)
+			}
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab := Fig10()
+	for _, r := range tab.Rows {
+		if strings.HasPrefix(r[0], "peak @") {
+			if v := cellFloat(t, r[1]); v < 3 {
+				t.Errorf("%s only %g dB over floor", r[0], v)
+			}
+		}
+	}
+}
+
+func TestPairBoundShape(t *testing.T) {
+	tab := PairBound()
+	found := false
+	for _, r := range tab.Rows {
+		if r[0] == "max antenna pairs" {
+			found = true
+			if r[1] != "3" {
+				t.Errorf("max pairs = %s, want 3", r[1])
+			}
+		}
+	}
+	if !found {
+		t.Error("pair-bound row missing")
+	}
+}

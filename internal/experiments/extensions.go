@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"ros/internal/beamshape"
+	"ros/internal/coding"
+	"ros/internal/em"
+	"ros/internal/geom"
+	"ros/internal/radar"
+	"ros/internal/scene"
+	"ros/internal/sim"
+	"ros/internal/stack"
+	"ros/internal/vaa"
+)
+
+// Extensions implement and quantify the future-work directions of Sec 8:
+// circular polarization, ASK multi-level coding, and near-field focusing.
+
+// ExtensionCP regenerates the Sec 8 circular-polarization argument: a CP
+// Van Atta preserves handedness (clutter flips it) and recovers the 6 dB
+// PSVAA loss, stretching the link budget.
+func ExtensionCP() *Table {
+	t := &Table{
+		ID:      "Extension: circular polarization",
+		Title:   "Sec 8 CP-PSVAA: handedness separation without the 6 dB loss",
+		Columns: []string{"quantity", "value", "paper/expected"},
+		Notes: "Sec 8: CP elements keep the handedness ordinary reflectors " +
+			"flip, recovering the 6 dB and extending every reading range by " +
+			"10^(6/40) ~ 1.41x",
+	}
+	cp := vaa.NewCPVAA(3)
+	ps := vaa.NewPSVAA(3)
+	co := cp.MonostaticRCS(0, fc, em.PolRHC, em.PolRHC)
+	cross := ps.MonostaticRCS(0, fc, em.PolV, em.PolH)
+	t.AddRow("CP gain over PSVAA (dB)", f1(em.DB(co/cross)), "~6")
+	t.AddRow("CP handedness discrimination (dB)", f1(cp.HandednessDiscriminationDB(0, fc)), ">> 0")
+	ula := vaa.NewULA(3)
+	t.AddRow("mirror (ULA) handedness rejection (dB)",
+		f1(em.HandednessRejectionDB(ula.Scatter(0, 0, fc))), "strongly negative")
+	ti := em.TIRadar()
+	t.AddRow("TI range, linear PSVAA (m)", f2(ti.MaxRange(em.TagRCS32StackDBsm, fc)), "6.9")
+	t.AddRow("TI range, CP (m)", f2(vaa.CPMaxRange(ti, fc)), "~9.9")
+	com := em.CommercialRadar()
+	t.AddRow("commercial range, linear (m)", f2(com.MaxRange(em.TagRCS32StackDBsm, fc)), "52")
+	t.AddRow("commercial range, CP (m)", f2(vaa.CPMaxRange(com, fc)), "~74")
+	return t
+}
+
+// ExtensionASK regenerates the Sec 8 ASK argument: multi-level peak
+// amplitudes multiply the per-tag capacity.
+func ExtensionASK() *Table {
+	t := &Table{
+		ID:      "Extension: ASK modulation",
+		Title:   "Sec 8 multi-level (ASK) spatial coding",
+		Columns: []string{"quantity", "OOK", "ASK-4"},
+		Notes: "Sec 8: varying the PSVAA count per stack sets multiple RCS " +
+			"levels, multiplying capacity; the price is a smaller per-level " +
+			"decision margin",
+	}
+	lambda := em.Lambda79()
+	symbols := []int{3, 1, 2, 0}
+	ask, err := coding.NewASKLayout(symbols, 4, coding.DefaultDelta())
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("bits per 4-slot tag", itoa(4), itoa(ask.Capacity()))
+
+	// Decode a synthetic far-field read of the ASK tag.
+	pos, w := ask.PositionsAndWeights()
+	n := 1100
+	us := make([]float64, n)
+	rss := make([]float64, n)
+	rng := rand.New(rand.NewSource(600))
+	for i := range us {
+		u := -0.55 + 1.1*float64(i)/float64(n-1)
+		us[i] = u
+		rss[i] = (1 - 0.3*u*u) * coding.WeightedMultiStackGain(pos, w, u, lambda) * (1 + 0.03*rng.NormFloat64())
+	}
+	dec, err := coding.NewASKDecoder(4, 4, coding.DefaultDelta(), lambda)
+	if err != nil {
+		panic(err)
+	}
+	res, err := dec.Decode(us, rss)
+	if err != nil {
+		panic(err)
+	}
+	ok := "error"
+	if coding.SymbolsEqual(res.Symbols, symbols) {
+		ok = "correct"
+	}
+	t.AddRow("synthetic read of symbols 3,1,2,0", "-", ok)
+	t.AddRow("worst decision margin (dB)", "-", f1(res.MarginDB))
+	return t
+}
+
+// ExtensionNFFA regenerates the Sec 8 near-field-focusing argument: a
+// focused tall stack stays coherent inside its Fraunhofer bound.
+func ExtensionNFFA() *Table {
+	t := &Table{
+		ID:      "Extension: near-field focusing",
+		Title:   "Sec 8 NFFA: focused vs uniform stacks read at 3 m",
+		Columns: []string{"modules", "uniform gain (dB)", "focused gain (dB)", "focusing benefit (dB)"},
+		Notes: "Sec 8: NFFAs let larger (higher-RCS) stacks work inside the " +
+			"near field; the benefit grows with stack height",
+	}
+	for _, n := range []int{16, 32, 64} {
+		uniform := stack.NewUniform(n)
+		focused, err := stack.NewFocused(n, 3, fc)
+		if err != nil {
+			panic(err)
+		}
+		gu := uniform.NearFieldBoresightGain(3, fc)
+		gf := focused.NearFieldBoresightGain(3, fc)
+		t.AddRow(itoa(n), f1(em.DB(gu)), f1(em.DB(gf)), f1(em.DB(gf/gu)))
+	}
+	return t
+}
+
+// ExtensionOcclusion quantifies the Sec 7.3 blockage discussion: a parked
+// vehicle shadows part of the pass; longer blockers erode the usable angular
+// view until the read fails, and a redundant tag down the road restores it.
+func ExtensionOcclusion() *Table {
+	t := &Table{
+		ID:      "Extension: occlusion",
+		Title:   "Sec 7.3 blockage: parked vehicle between the lane and the tag",
+		Columns: []string{"blocker half-length (m)", "single tag", "with redundant tag +8 m"},
+		Notes: "paper Sec 7.3: decoding fails when the tag is fully blocked; " +
+			"installing redundant RoS tags along the road restores the read",
+	}
+	for _, half := range []float64{0, 0.5, 1.5, 3, 4.5} {
+		single := mustRun(sim.DriveBy{BeamShaped: true, BlockerHalfLength: half, Seed: 700})
+		spare := mustRun(sim.DriveBy{
+			BeamShaped: true, BlockerHalfLength: half, Seed: 700,
+			RedundantTagOffset: 8, HalfSpan: 12, FrameBudget: 520,
+		})
+		t.AddRow(f1(half), snrCell(single), snrCell(spare))
+	}
+	return t
+}
+
+// ExtensionElevation exercises the IWR1443's elevated transmitter: phase
+// monopulse between the two Tx illuminations recovers a tag's mounting
+// height — the measurement a 3-D-aware deployment of Sec 7.3's
+// "mount the tags high" mitigation needs.
+func ExtensionElevation() *Table {
+	t := &Table{
+		ID:      "Extension: elevation monopulse",
+		Title:   "tag mounting-height estimation with the elevation Tx",
+		Columns: []string{"true height (m)", "estimated height (m)", "error (cm)"},
+		Notes: "the half-wavelength elevated Tx resolves target height to a " +
+			"few centimeters at tag ranges, enough to pick high-mounted tags " +
+			"out of bumper-height clutter",
+	}
+	e := radar.TI1443Elevation()
+	rng := rand.New(rand.NewSource(900))
+	for _, h := range []float64{-0.5, 0, 0.5, 1.0, 1.5} {
+		bits, err := coding.ParseBits("1111")
+		if err != nil {
+			panic(err)
+		}
+		layout, err := coding.NewLayout(bits, coding.DefaultDelta())
+		if err != nil {
+			panic(err)
+		}
+		tag, err := scene.NewTag(layout, beamshape.Shaped(32), geom.Vec3{Z: h})
+		if err != nil {
+			panic(err)
+		}
+		sc := &scene.Scene{Tags: []*scene.Tag{tag}}
+		radarPos := geom.Vec3{Y: 3.5}
+		scat := sc.Scatterers(radarPos, geom.Vec3{}, scene.ModeDecode, e.FrontEnd, e.CenterFrequency, rng)
+		if len(scat) == 0 {
+			t.AddRow(f2(h), "no return", "")
+			continue
+		}
+		burst := e.SynthesizeElevation(scat, rng)
+		el, err := e.EstimateElevation(burst, scat[0].Range, scat[0].Azimuth)
+		if err != nil {
+			t.AddRow(f2(h), "ambiguous", "")
+			continue
+		}
+		ground := math.Hypot(radarPos.X-tag.Position.X, radarPos.Y-tag.Position.Y)
+		est := radar.HeightOf(el, ground)
+		t.AddRow(f2(h), f2(est), f1(math.Abs(est-h)*100))
+	}
+	return t
+}
+
+// ExtensionLocalization measures how precisely the pipeline localizes the
+// tag — Sec 1's premise: "A vehicle passing by the tag can localize it,
+// measure its reflection pattern, and decode the embedded information."
+func ExtensionLocalization() *Table {
+	t := &Table{
+		ID:      "Extension: localization",
+		Title:   "tag localization error across pass distances",
+		Columns: []string{"distance (m)", "position error (cm)", "SNR (dB)"},
+		Notes: "the merged point cloud's weighted centroid localizes the tag " +
+			"to centimeters at lane distances, the precision the decode's " +
+			"u-resampling relies on",
+	}
+	dists := []float64{2, 3, 4, 5}
+	var cfgs []sim.DriveBy
+	for _, d := range dists {
+		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, Standoff: d, Seed: 910 + int64(d)})
+	}
+	outs := runAll(cfgs)
+	for i, d := range dists {
+		out := outs[i]
+		if !out.Detected {
+			t.AddRow(f1(d), "lost", "")
+			continue
+		}
+		errM := out.Detection.Objects[out.Detection.TagIndex].Centroid.Norm()
+		t.AddRow(f1(d), f1(errM*100), snrCell(out))
+	}
+	return t
+}
+
+// ExtensionRain sweeps precipitation (Sec 7.3 quotes 3.2 dB/100 m at
+// 100 mm/h): like fog, rain barely dents a 79 GHz link at tag ranges.
+func ExtensionRain() *Table {
+	t := &Table{
+		ID:      "Extension: rain",
+		Title:   "decoding SNR under rain",
+		Columns: []string{"rain (mm/h)", "SNR (dB)"},
+		Notes: "Sec 7.3: heavy rain costs ~3.2 dB per 100 m one-way — " +
+			"negligible over a 3 m read, the radar's whole advantage over " +
+			"cameras in weather",
+	}
+	rates := []float64{0, 25, 100}
+	var cfgs []sim.DriveBy
+	for _, r := range rates {
+		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, RainMMPerHour: r, Seed: 920})
+	}
+	outs := runAll(cfgs)
+	for i, r := range rates {
+		t.AddRow(f1(r), snrCell(outs[i]))
+	}
+	return t
+}
+
+// ExtensionCommercialRange reads tags at multi-lane distances with the
+// Sec 8 commercial front end on a long-range chirp.
+func ExtensionCommercialRange() *Table {
+	t := &Table{
+		ID:      "Extension: commercial range",
+		Title:   "Sec 8 commercial front end: reads far beyond the TI radar",
+		Columns: []string{"distance (m)", "SNR (dB)", "bits"},
+		Notes: "the TI evaluation radar dies at ~7 m; the commercial link " +
+			"budget (NF 9 dB, EIRP 50 dBm) reads the same tag tens of meters " +
+			"out, matching the 52 m bound of Sec 8",
+	}
+	rcfg := radar.Commercial()
+	dists := []float64{5, 10, 20, 30}
+	var cfgs []sim.DriveBy
+	for _, d := range dists {
+		cfgs = append(cfgs, sim.DriveBy{
+			BeamShaped: true, Standoff: d, Radar: &rcfg,
+			Speed: 10, Seed: 930 + int64(d),
+		})
+	}
+	outs := runAll(cfgs)
+	for i, d := range dists {
+		t.AddRow(f1(d), snrCell(outs[i]), outs[i].Bits)
+	}
+	return t
+}

@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the RoS paper's
+// evaluation as text tables: the design studies of Sec 4 (Figs 3-8), the
+// spatial-coding verification of Sec 5 (Fig 10, capacity model), the
+// detection pipeline of Sec 6 (Figs 11, 13), and the full evaluation of
+// Sec 7 (Figs 14-18), plus the link-budget table of Sec 5.3/8.
+//
+// Each generator returns a Table whose Notes record the shape the paper
+// reports, so EXPERIMENTS.md can compare paper-vs-measured side by side.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated figure or table.
+type Table struct {
+	// ID names the paper artifact ("Fig 3", "Sec 5.3 link budget").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows hold formatted cells.
+	Rows [][]string
+	// Notes describe the expected shape from the paper and how the
+	// measured series compares.
+	Notes string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// AddRow appends formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// itoa formats an integer cell.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Generator produces one experiment table.
+type Generator struct {
+	ID  string
+	Run func() *Table
+}
+
+// Registry lists every experiment in paper order. It is the backing of
+// cmd/rosbench and of the top-level benchmark suite.
+func Registry() []Generator {
+	return []Generator{
+		{"Fig 3", Fig03}, {"Fig 4a", Fig04a}, {"Fig 4b", Fig04b},
+		{"Fig 5", Fig05}, {"Fig 6", Fig06}, {"Fig 8", Fig08},
+		{"Fig 10", Fig10}, {"Fig 11", Fig11}, {"Fig 13", Fig13},
+		{"Fig 14", Fig14}, {"Fig 15", Fig15},
+		{"Fig 16a", Fig16a}, {"Fig 16b", Fig16b}, {"Fig 16c", Fig16c},
+		{"Fig 16d", Fig16d}, {"Fig 17", Fig17}, {"Fig 18", Fig18},
+		{"Link budget", LinkBudget}, {"Capacity", Capacity},
+		{"Pair bound", PairBound},
+		{"Ablation: polarization switching", AblationPolSwitch},
+		{"Ablation: spectrum window", AblationWindow},
+		{"Ablation: envelope detrending", AblationDetrend},
+		{"Ablation: RCS sampling density", AblationSampling},
+		{"Ablation: ground multipath", AblationGroundMultipath},
+		{"Ablation: wavelength assumption", AblationWavelength},
+		{"Ablation: ADC resolution", AblationADC},
+		{"Extension: circular polarization", ExtensionCP},
+		{"Extension: ASK modulation", ExtensionASK},
+		{"Extension: near-field focusing", ExtensionNFFA},
+		{"Extension: occlusion", ExtensionOcclusion},
+		{"Extension: elevation monopulse", ExtensionElevation},
+		{"Extension: localization", ExtensionLocalization},
+		{"Extension: rain", ExtensionRain},
+		{"Extension: commercial range", ExtensionCommercialRange},
+		{"Monte Carlo BER", MonteCarloBER},
+	}
+}
+
+// ByID returns the generator whose ID matches (case-insensitive, ignoring
+// spaces), or nil.
+func ByID(id string) *Generator {
+	norm := func(s string) string {
+		return strings.ToLower(strings.ReplaceAll(s, " ", ""))
+	}
+	for _, g := range Registry() {
+		if norm(g.ID) == norm(id) {
+			g := g
+			return &g
+		}
+	}
+	return nil
+}

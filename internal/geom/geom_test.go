@@ -1,0 +1,209 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVec2Ops(t *testing.T) {
+	a := Vec2{1, 2}
+	b := Vec2{3, -1}
+	if got := a.Add(b); got != (Vec2{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec2{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := (Vec2{3, 4}).Norm(); got != 5 {
+		t.Errorf("Norm = %g", got)
+	}
+	if got := a.Dist(b); !almost(got, math.Sqrt(13), 1e-12) {
+		t.Errorf("Dist = %g", got)
+	}
+	if got := (Vec2{0, 1}).Angle(); !almost(got, math.Pi/2, 1e-12) {
+		t.Errorf("Angle = %g", got)
+	}
+}
+
+func TestVec2Unit(t *testing.T) {
+	u := Vec2{3, 4}.Unit()
+	if !almost(u.Norm(), 1, 1e-12) {
+		t.Errorf("unit norm = %g", u.Norm())
+	}
+	z := Vec2{}.Unit()
+	if z != (Vec2{}) {
+		t.Errorf("zero unit = %v", z)
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-1, 0, 2}
+	if got := a.Add(b); got != (Vec3{0, 2, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{2, 2, 1}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 5 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := (Vec3{2, 3, 6}).Norm(); got != 7 {
+		t.Errorf("Norm = %g", got)
+	}
+	if got := a.XY(); got != (Vec2{1, 2}) {
+		t.Errorf("XY = %v", got)
+	}
+	if u := a.Unit(); !almost(u.Norm(), 1, 1e-12) {
+		t.Errorf("unit norm = %g", u.Norm())
+	}
+	if z := (Vec3{}).Unit(); z != (Vec3{}) {
+		t.Errorf("zero unit = %v", z)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.Abs(ax) > 1e100 || math.Abs(ay) > 1e100 || math.Abs(bx) > 1e100 || math.Abs(by) > 1e100 {
+			return true
+		}
+		a := Vec2{ax, ay}
+		b := Vec2{bx, by}
+		return a.Add(b).Norm() <= a.Norm()+b.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleConversions(t *testing.T) {
+	if !almost(Deg(math.Pi), 180, 1e-12) {
+		t.Errorf("Deg(pi) = %g", Deg(math.Pi))
+	}
+	if !almost(Rad(90), math.Pi/2, 1e-12) {
+		t.Errorf("Rad(90) = %g", Rad(90))
+	}
+	if !almost(Rad(Deg(1.234)), 1.234, 1e-12) {
+		t.Error("Rad/Deg round trip failed")
+	}
+}
+
+func TestWrapPi(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{math.Pi + 0.5, -math.Pi + 0.5},
+	}
+	for _, c := range cases {
+		if got := WrapPi(c.in); !almost(got, c.want, 1e-12) {
+			t.Errorf("WrapPi(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrap2Pi(t *testing.T) {
+	for _, a := range []float64{-7, -1, 0, 1, 7, 13} {
+		got := Wrap2Pi(a)
+		if got < 0 || got >= 2*math.Pi {
+			t.Errorf("Wrap2Pi(%g) = %g out of range", a, got)
+		}
+		if !almost(math.Sin(got), math.Sin(a), 1e-12) || !almost(math.Cos(got), math.Cos(a), 1e-12) {
+			t.Errorf("Wrap2Pi(%g) = %g changed the angle", a, got)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestTrajectoryPositions(t *testing.T) {
+	tr := Trajectory{
+		Start:     Vec3{X: -10, Y: 3},
+		Velocity:  Vec3{X: 5},
+		FrameRate: 10,
+		Frames:    21,
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ps := tr.Positions()
+	if len(ps) != 21 {
+		t.Fatalf("got %d positions", len(ps))
+	}
+	if ps[0] != (Vec3{X: -10, Y: 3}) {
+		t.Errorf("first = %v", ps[0])
+	}
+	// After 20 frames at 10 Hz = 2 s at 5 m/s -> +10 m.
+	if !almost(ps[20].X, 0, 1e-12) {
+		t.Errorf("last X = %g, want 0", ps[20].X)
+	}
+	if !almost(tr.Duration(), 2.1, 1e-12) {
+		t.Errorf("Duration = %g", tr.Duration())
+	}
+	if tr.Speed() != 5 {
+		t.Errorf("Speed = %g", tr.Speed())
+	}
+}
+
+func TestTrajectoryValidate(t *testing.T) {
+	if err := (Trajectory{FrameRate: 0, Frames: 1}).Validate(); err == nil {
+		t.Error("zero frame rate accepted")
+	}
+	if err := (Trajectory{FrameRate: 1, Frames: 0}).Validate(); err == nil {
+		t.Error("zero frames accepted")
+	}
+}
+
+func TestPassBy(t *testing.T) {
+	tr := PassBy(3, 6, 0.1, 2, 100)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ps := tr.Positions()
+	first, last := ps[0], ps[len(ps)-1]
+	if first.X != -6 || first.Y != 3 || first.Z != 0.1 {
+		t.Errorf("start = %v", first)
+	}
+	if !almost(last.X, 6, 0.05) {
+		t.Errorf("end X = %g, want ~6", last.X)
+	}
+	// Closest approach distance equals the standoff.
+	minD := math.Inf(1)
+	for _, p := range ps {
+		if d := p.XY().Norm(); d < minD {
+			minD = d
+		}
+	}
+	if !almost(minD, 3, 0.01) {
+		t.Errorf("closest approach = %g, want 3", minD)
+	}
+}
+
+func TestPassByPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PassBy with zero speed did not panic")
+		}
+	}()
+	PassBy(3, 6, 0, 0, 100)
+}
+
+func TestMPH(t *testing.T) {
+	if !almost(MPH(30), 13.4112, 1e-9) {
+		t.Errorf("MPH(30) = %g", MPH(30))
+	}
+}

@@ -1,0 +1,76 @@
+package geom
+
+import "fmt"
+
+// Trajectory describes a straight-line constant-speed vehicle pass, the
+// motion model used throughout the paper's field experiments ("the radar ...
+// moved along straight trajectories passing by the RoS tag", Sec 7.1).
+type Trajectory struct {
+	// Start is the vehicle (radar) position at t = 0.
+	Start Vec3
+	// Velocity is the constant velocity vector in m/s.
+	Velocity Vec3
+	// FrameRate is the radar frame repetition rate Fs in Hz.
+	FrameRate float64
+	// Frames is the number of radar frames captured along the pass.
+	Frames int
+}
+
+// Validate reports whether the trajectory parameters are usable.
+func (tr Trajectory) Validate() error {
+	if tr.FrameRate <= 0 {
+		return fmt.Errorf("geom: trajectory frame rate must be positive, got %g", tr.FrameRate)
+	}
+	if tr.Frames < 1 {
+		return fmt.Errorf("geom: trajectory must have at least 1 frame, got %d", tr.Frames)
+	}
+	return nil
+}
+
+// At returns the vehicle position at frame i (which may be fractional).
+func (tr Trajectory) At(i float64) Vec3 {
+	t := i / tr.FrameRate
+	return tr.Start.Add(tr.Velocity.Scale(t))
+}
+
+// Positions returns the vehicle position at every frame.
+func (tr Trajectory) Positions() []Vec3 {
+	out := make([]Vec3, tr.Frames)
+	for i := range out {
+		out[i] = tr.At(float64(i))
+	}
+	return out
+}
+
+// Duration returns the total pass duration in seconds.
+func (tr Trajectory) Duration() float64 {
+	if tr.FrameRate <= 0 {
+		return 0
+	}
+	return float64(tr.Frames) / tr.FrameRate
+}
+
+// Speed returns the scalar speed in m/s.
+func (tr Trajectory) Speed() float64 { return tr.Velocity.Norm() }
+
+// PassBy constructs a trajectory that drives along +x past a target at the
+// origin, offset laterally by standoff meters (the radar-to-tag closest
+// distance), covering x in [-halfSpan, +halfSpan] at the given speed and
+// frame rate. Height z is the radar mounting height relative to the tag
+// center.
+func PassBy(standoff, halfSpan, height, speed, frameRate float64) Trajectory {
+	if speed <= 0 || frameRate <= 0 || halfSpan <= 0 {
+		panic(fmt.Sprintf("geom: PassBy requires positive speed, frameRate, halfSpan (got %g, %g, %g)",
+			speed, frameRate, halfSpan))
+	}
+	frames := int(2*halfSpan/speed*frameRate) + 1
+	return Trajectory{
+		Start:     Vec3{X: -halfSpan, Y: standoff, Z: height},
+		Velocity:  Vec3{X: speed},
+		FrameRate: frameRate,
+		Frames:    frames,
+	}
+}
+
+// MPH converts miles per hour to meters per second.
+func MPH(mph float64) float64 { return mph * 0.44704 }

@@ -1,0 +1,193 @@
+// Package optim implements the differential-evolution genetic algorithm
+// (DE-GA) that Sec 4.3 of the RoS paper uses as a meta-optimization scheme
+// to search for the PSVAA phase weights and vertical positions that produce
+// a flat-top elevation beam.
+//
+// The implementation follows Storn & Price's classic DE/rand/1/bin strategy
+// [55 in the paper]: for every member of a population, a mutant is formed
+// from three distinct random members (a + F*(b - c)), binomially crossed
+// with the member, and kept if it scores better.
+package optim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Objective scores a candidate vector; lower is better.
+type Objective func(x []float64) float64
+
+// Bounds restricts one dimension of the search space.
+type Bounds struct {
+	Lo, Hi float64
+}
+
+// Config holds the DE hyper-parameters.
+type Config struct {
+	// PopSize is the population size. If zero, 10*dim is used.
+	PopSize int
+	// F is the differential weight in [0, 2]. If zero, 0.7 is used.
+	F float64
+	// CR is the crossover probability in [0, 1]. If zero, 0.9 is used.
+	CR float64
+	// Generations is the iteration budget. If zero, 200 is used.
+	Generations int
+	// Tol stops early when the population's best-worst score spread falls
+	// below it. Zero disables early stopping.
+	Tol float64
+}
+
+// Result reports the outcome of a DE run.
+type Result struct {
+	// X is the best vector found.
+	X []float64
+	// Score is the objective value at X.
+	Score float64
+	// Generations is the number of generations executed.
+	Generations int
+	// Evals is the number of objective evaluations.
+	Evals int
+}
+
+// Minimize runs DE/rand/1/bin within bounds and returns the best candidate.
+// The rng drives all stochastic choices, making runs reproducible for a
+// fixed seed. An error is returned for an empty search space, a nil
+// objective, or a nil rng.
+func Minimize(obj Objective, bounds []Bounds, cfg Config, rng *rand.Rand) (Result, error) {
+	dim := len(bounds)
+	if dim == 0 {
+		return Result{}, fmt.Errorf("optim: empty search space")
+	}
+	if obj == nil {
+		return Result{}, fmt.Errorf("optim: nil objective")
+	}
+	if rng == nil {
+		return Result{}, fmt.Errorf("optim: nil rng")
+	}
+	for i, b := range bounds {
+		if b.Hi < b.Lo || math.IsNaN(b.Lo) || math.IsNaN(b.Hi) {
+			return Result{}, fmt.Errorf("optim: invalid bounds[%d] = [%g, %g]", i, b.Lo, b.Hi)
+		}
+	}
+	if cfg.PopSize == 0 {
+		cfg.PopSize = 10 * dim
+	}
+	if cfg.PopSize < 4 {
+		cfg.PopSize = 4
+	}
+	if cfg.F == 0 {
+		cfg.F = 0.7
+	}
+	if cfg.CR == 0 {
+		cfg.CR = 0.9
+	}
+	if cfg.Generations == 0 {
+		cfg.Generations = 200
+	}
+
+	pop := make([][]float64, cfg.PopSize)
+	scores := make([]float64, cfg.PopSize)
+	evals := 0
+	for i := range pop {
+		pop[i] = make([]float64, dim)
+		for d, b := range bounds {
+			pop[i][d] = b.Lo + rng.Float64()*(b.Hi-b.Lo)
+		}
+		scores[i] = obj(pop[i])
+		evals++
+	}
+
+	trial := make([]float64, dim)
+	gen := 0
+	for ; gen < cfg.Generations; gen++ {
+		for i := range pop {
+			a, b, c := pick3(rng, cfg.PopSize, i)
+			jRand := rng.Intn(dim)
+			for d := range trial {
+				if d == jRand || rng.Float64() < cfg.CR {
+					v := pop[a][d] + cfg.F*(pop[b][d]-pop[c][d])
+					// Reflect out-of-bounds values back into range.
+					v = reflect(v, bounds[d])
+					trial[d] = v
+				} else {
+					trial[d] = pop[i][d]
+				}
+			}
+			s := obj(trial)
+			evals++
+			if s <= scores[i] {
+				copy(pop[i], trial)
+				scores[i] = s
+			}
+		}
+		if cfg.Tol > 0 {
+			lo, hi := scores[0], scores[0]
+			for _, s := range scores[1:] {
+				if s < lo {
+					lo = s
+				}
+				if s > hi {
+					hi = s
+				}
+			}
+			if hi-lo < cfg.Tol {
+				gen++
+				break
+			}
+		}
+	}
+
+	bestIdx := 0
+	for i, s := range scores {
+		if s < scores[bestIdx] {
+			bestIdx = i
+		}
+		_ = s
+	}
+	best := make([]float64, dim)
+	copy(best, pop[bestIdx])
+	return Result{X: best, Score: scores[bestIdx], Generations: gen, Evals: evals}, nil
+}
+
+// pick3 draws three distinct population indices, all different from skip.
+func pick3(rng *rand.Rand, n, skip int) (a, b, c int) {
+	for {
+		a = rng.Intn(n)
+		if a != skip {
+			break
+		}
+	}
+	for {
+		b = rng.Intn(n)
+		if b != skip && b != a {
+			break
+		}
+	}
+	for {
+		c = rng.Intn(n)
+		if c != skip && c != a && c != b {
+			break
+		}
+	}
+	return
+}
+
+// reflect folds v back into [b.Lo, b.Hi] by mirroring at the violated bound;
+// if the overshoot is too large for one mirror to fix, v is clamped at the
+// bound it originally violated.
+func reflect(v float64, b Bounds) float64 {
+	switch {
+	case v < b.Lo:
+		v = 2*b.Lo - v
+		if v > b.Hi {
+			return b.Lo
+		}
+	case v > b.Hi:
+		v = 2*b.Hi - v
+		if v < b.Lo {
+			return b.Hi
+		}
+	}
+	return v
+}

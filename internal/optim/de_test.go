@@ -1,0 +1,194 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sphere(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func rosenbrock(x []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(x)-1; i++ {
+		a := x[i+1] - x[i]*x[i]
+		b := 1 - x[i]
+		s += 100*a*a + b*b
+	}
+	return s
+}
+
+func rastrigin(x []float64) float64 {
+	s := 10 * float64(len(x))
+	for _, v := range x {
+		s += v*v - 10*math.Cos(2*math.Pi*v)
+	}
+	return s
+}
+
+func uniformBounds(dim int, lo, hi float64) []Bounds {
+	b := make([]Bounds, dim)
+	for i := range b {
+		b[i] = Bounds{lo, hi}
+	}
+	return b
+}
+
+func TestMinimizeSphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	res, err := Minimize(sphere, uniformBounds(5, -5, 5), Config{Generations: 300}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score > 1e-6 {
+		t.Errorf("sphere minimum = %g, want < 1e-6", res.Score)
+	}
+	for i, v := range res.X {
+		if math.Abs(v) > 1e-3 {
+			t.Errorf("x[%d] = %g, want ~0", i, v)
+		}
+	}
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	res, err := Minimize(rosenbrock, uniformBounds(4, -2, 2), Config{Generations: 800, PopSize: 60}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score > 1e-3 {
+		t.Errorf("rosenbrock minimum = %g, want < 1e-3", res.Score)
+	}
+}
+
+func TestMinimizeRastriginMultimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	res, err := Minimize(rastrigin, uniformBounds(4, -5.12, 5.12), Config{Generations: 600, PopSize: 80}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DE should escape local minima of Rastrigin at this budget.
+	if res.Score > 1e-2 {
+		t.Errorf("rastrigin minimum = %g, want < 1e-2", res.Score)
+	}
+}
+
+func TestMinimizeRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	bounds := []Bounds{{1, 2}, {-3, -2}}
+	// The unconstrained minimum (0, 0) is outside the bounds, so the best
+	// candidate must sit on the boundary closest to it.
+	res, err := Minimize(sphere, bounds, Config{Generations: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, b := range bounds {
+		if res.X[d] < b.Lo-1e-12 || res.X[d] > b.Hi+1e-12 {
+			t.Errorf("x[%d] = %g escaped bounds [%g, %g]", d, res.X[d], b.Lo, b.Hi)
+		}
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]+2) > 1e-3 {
+		t.Errorf("constrained minimum = %v, want ~(1, -2)", res.X)
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	run := func() Result {
+		rng := rand.New(rand.NewSource(23))
+		res, err := Minimize(sphere, uniformBounds(3, -1, 1), Config{Generations: 50}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Score != b.Score {
+		t.Errorf("same seed gave different scores: %g vs %g", a.Score, b.Score)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Errorf("same seed gave different x[%d]: %g vs %g", i, a.X[i], b.X[i])
+		}
+	}
+}
+
+func TestMinimizeEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	res, err := Minimize(sphere, uniformBounds(2, -1, 1), Config{Generations: 10000, Tol: 1e-9}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations >= 10000 {
+		t.Errorf("early stopping did not trigger (ran %d generations)", res.Generations)
+	}
+}
+
+func TestMinimizeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Minimize(sphere, nil, Config{}, rng); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := Minimize(nil, uniformBounds(1, 0, 1), Config{}, rng); err == nil {
+		t.Error("nil objective accepted")
+	}
+	if _, err := Minimize(sphere, uniformBounds(1, 0, 1), Config{}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := Minimize(sphere, []Bounds{{2, 1}}, Config{}, rng); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := Minimize(sphere, []Bounds{{math.NaN(), 1}}, Config{}, rng); err == nil {
+		t.Error("NaN bounds accepted")
+	}
+}
+
+func TestMinimizeFixedPointBounds(t *testing.T) {
+	// Degenerate bounds (Lo == Hi) pin a dimension.
+	rng := rand.New(rand.NewSource(31))
+	bounds := []Bounds{{2, 2}, {-1, 1}}
+	res, err := Minimize(sphere, bounds, Config{Generations: 100}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] != 2 {
+		t.Errorf("pinned dimension moved: %g", res.X[0])
+	}
+}
+
+func TestReflect(t *testing.T) {
+	b := Bounds{0, 1}
+	if got := reflect(-0.25, b); got != 0.25 {
+		t.Errorf("reflect(-0.25) = %g, want 0.25", got)
+	}
+	if got := reflect(1.25, b); got != 0.75 {
+		t.Errorf("reflect(1.25) = %g, want 0.75", got)
+	}
+	if got := reflect(-5, b); got != 0 {
+		t.Errorf("reflect(-5) = %g, want clamp to 0", got)
+	}
+	if got := reflect(9, b); got != 1 {
+		t.Errorf("reflect(9) = %g, want clamp to 1", got)
+	}
+	if got := reflect(0.5, b); got != 0.5 {
+		t.Errorf("reflect(0.5) = %g, want unchanged", got)
+	}
+}
+
+func TestPick3Distinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 200; i++ {
+		a, b, c := pick3(rng, 5, 2)
+		if a == 2 || b == 2 || c == 2 {
+			t.Fatal("pick3 returned the skipped index")
+		}
+		if a == b || b == c || a == c {
+			t.Fatal("pick3 returned duplicate indices")
+		}
+	}
+}

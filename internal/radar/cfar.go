@@ -1,0 +1,78 @@
+package radar
+
+import (
+	"fmt"
+
+	"ros/internal/dsp"
+)
+
+// Cell-averaging CFAR (constant false-alarm rate) detection: the standard
+// automotive alternative to the global median threshold in PointCloud. The
+// noise level is estimated per cell from surrounding training cells
+// (excluding guard cells around the cell under test), so detection stays
+// calibrated when clutter raises the floor locally.
+
+// CFAROptions tunes the detector.
+type CFAROptions struct {
+	// Guard is the number of guard cells on each side of the cell under
+	// test (default 2).
+	Guard int
+	// Training is the number of training cells on each side beyond the
+	// guards (default 8).
+	Training int
+	// ThresholdDB is the detection margin over the estimated noise
+	// (default 12 dB).
+	ThresholdDB float64
+}
+
+func (o *CFAROptions) defaults() {
+	if o.Guard == 0 {
+		o.Guard = 2
+	}
+	if o.Training == 0 {
+		o.Training = 8
+	}
+	if o.ThresholdDB == 0 {
+		o.ThresholdDB = 12
+	}
+}
+
+// CFARDetect returns the indices of power cells exceeding the CA-CFAR
+// threshold. Cells whose training window would leave the array use the
+// available one-sided cells.
+func CFARDetect(power []float64, opts CFAROptions) []int {
+	opts.defaults()
+	if opts.Guard < 0 || opts.Training < 1 {
+		panic(fmt.Sprintf("radar: CFAR guard=%d training=%d", opts.Guard, opts.Training))
+	}
+	n := len(power)
+	factor := dsp.FromDB(opts.ThresholdDB)
+	var out []int
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		count := 0
+		lo := i - opts.Guard - opts.Training
+		hi := i + opts.Guard + opts.Training
+		for j := lo; j <= hi; j++ {
+			if j < 0 || j >= n {
+				continue
+			}
+			if d := j - i; d >= -opts.Guard && d <= opts.Guard {
+				continue // guard region, including the cell under test
+			}
+			sum += power[j]
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		noise := sum / float64(count)
+		if noise <= 0 {
+			noise = 1e-300
+		}
+		if power[i] > factor*noise {
+			out = append(out, i)
+		}
+	}
+	return out
+}

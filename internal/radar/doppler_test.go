@@ -1,0 +1,163 @@
+package radar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCFARDetectsTargetsInColoredNoise(t *testing.T) {
+	// A target on a locally raised floor: global-median thresholding would
+	// need a bigger margin, CFAR adapts.
+	n := 256
+	power := make([]float64, n)
+	for i := range power {
+		power[i] = 1.0
+		if i > 128 {
+			power[i] = 10 // clutter shelf
+		}
+	}
+	power[60] = 100   // 20 dB over its local floor
+	power[200] = 1000 // 20 dB over the shelf
+	dets := CFARDetect(power, CFAROptions{ThresholdDB: 13})
+	found60, found200 := false, false
+	for _, d := range dets {
+		switch d {
+		case 60:
+			found60 = true
+		case 200:
+			found200 = true
+		}
+	}
+	if !found60 || !found200 {
+		t.Errorf("detections %v, want 60 and 200", dets)
+	}
+	// Shelf cells themselves must not fire (they match their local floor).
+	for _, d := range dets {
+		if d != 60 && d != 200 && d < 129 || d > 201 {
+			continue
+		}
+	}
+	if len(dets) > 6 {
+		t.Errorf("too many detections: %v", dets)
+	}
+}
+
+func TestCFAREdges(t *testing.T) {
+	if dets := CFARDetect(nil, CFAROptions{}); len(dets) != 0 {
+		t.Errorf("detections on empty input: %v", dets)
+	}
+	// A single strong cell at the array edge still detects via one-sided
+	// training.
+	power := make([]float64, 64)
+	for i := range power {
+		power[i] = 1
+	}
+	power[0] = 1e4
+	dets := CFARDetect(power, CFAROptions{})
+	if len(dets) != 1 || dets[0] != 0 {
+		t.Errorf("edge detection = %v, want [0]", dets)
+	}
+}
+
+func TestCFARPanicsOnBadOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative guard accepted")
+		}
+	}()
+	CFARDetect([]float64{1, 2, 3}, CFAROptions{Guard: -1, Training: 4})
+}
+
+func TestDopplerEstimatesVelocity(t *testing.T) {
+	c := TI1443()
+	for _, v := range []float64{0.3, -0.5, 0} {
+		k := 64
+		frames := make([]Frame, k)
+		for i := range frames {
+			r := 4.0 + v*float64(i)/c.FrameRate
+			frames[i] = c.Synthesize([]Scatterer{{
+				Range: r, Azimuth: 0, Amplitude: 1e-4, RadialVelocity: v,
+			}}, nil)
+		}
+		got, err := c.EstimateVelocity(frames, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := c.Wavelength() * c.FrameRate / (2 * float64(k)) // velocity bin
+		if math.Abs(got-v) > 1.5*res {
+			t.Errorf("velocity %g: estimated %g (resolution %g)", v, got, res)
+		}
+	}
+}
+
+func TestDopplerUnambiguousBound(t *testing.T) {
+	c := TI1443()
+	// Sec 7.3's point quantified: at 1 kHz frames the unambiguous window
+	// is under 1 m/s — frame-rate Doppler cannot corrupt range decoding.
+	if v := c.MaxUnambiguousVelocity(); math.Abs(v-0.949) > 0.01 {
+		t.Errorf("max unambiguous velocity = %g m/s, want ~0.95", v)
+	}
+}
+
+func TestDopplerErrors(t *testing.T) {
+	c := TI1443()
+	f := c.Synthesize(nil, nil)
+	if _, _, err := c.DopplerMap([]Frame{f}, 0); err == nil {
+		t.Error("single frame accepted")
+	}
+	if _, _, err := c.DopplerMap([]Frame{f, f}, 9); err == nil {
+		t.Error("bad rx accepted")
+	}
+}
+
+func TestDopplerMapStationaryTargetAtZero(t *testing.T) {
+	c := TI1443()
+	k := 32
+	frames := make([]Frame, k)
+	for i := range frames {
+		frames[i] = c.Synthesize([]Scatterer{{Range: 3, Amplitude: 1e-4}}, nil)
+	}
+	m, vel, err := c.DopplerMap(frames, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := c.BinForRange(3)
+	best, idx := math.Inf(-1), 0
+	for d := range m {
+		if m[d][bin] > best {
+			best, idx = m[d][bin], d
+		}
+	}
+	if math.Abs(vel[idx]) > 1e-9 {
+		t.Errorf("stationary target at velocity %g", vel[idx])
+	}
+}
+
+func TestPointCloudWithCFAR(t *testing.T) {
+	c := TI1443()
+	rng := rand.New(rand.NewSource(31))
+	amp := math.Sqrt(c.NoisePerBin()) * 100
+	f := c.Synthesize([]Scatterer{
+		{Range: 3, Azimuth: 0.2, Amplitude: amp},
+		{Range: 6, Azimuth: -0.3, Amplitude: amp},
+	}, rng)
+	dets := c.PointCloud(f, DetectOptions{UseCFAR: true})
+	found3, found6 := false, false
+	for _, d := range dets {
+		if math.Abs(d.Range-3) < 0.15 {
+			found3 = true
+		}
+		if math.Abs(d.Range-6) < 0.15 {
+			found6 = true
+		}
+	}
+	if !found3 || !found6 {
+		t.Errorf("CFAR point cloud missed targets: %+v", dets)
+	}
+	// CFAR and median paths agree on a clean scene.
+	med := c.PointCloud(f, DetectOptions{})
+	if len(med) == 0 {
+		t.Error("median path found nothing")
+	}
+}

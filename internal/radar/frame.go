@@ -1,0 +1,122 @@
+package radar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ros/internal/em"
+)
+
+// Scatterer is one point reflector as seen from the radar for one frame. The
+// link budget (Eq 1, polarization coupling, atmospheric loss) is folded into
+// Amplitude by the scene layer; the radar only turns geometry into signal.
+type Scatterer struct {
+	// Range is the radar-to-point distance in meters.
+	Range float64
+	// Azimuth is the angle of arrival measured from the array boresight in
+	// radians.
+	Azimuth float64
+	// Amplitude is the linear received-signal amplitude, sqrt(watts),
+	// referenced to a single post-range-FFT bin.
+	Amplitude float64
+	// Phase is an extra carrier phase in radians (e.g. from sub-bin range
+	// offsets accumulated by the scene model).
+	Phase float64
+	// Elevation is the angle above the radar's horizontal plane in
+	// radians; the azimuth Rx row is insensitive to it, but the elevated
+	// transmitter of ElevationMIMO is not.
+	Elevation float64
+	// RadialVelocity is the range rate in m/s (positive receding); it
+	// shifts the beat frequency by the Doppler term, which at automotive
+	// speeds is orders of magnitude below the carrier (Sec 7.3).
+	RadialVelocity float64
+}
+
+// Frame holds one frame of complex baseband samples, indexed
+// [rx][sample].
+type Frame struct {
+	Samples [][]complex128
+}
+
+// Synthesize generates a baseband frame per Eq 2 for the given scatterers,
+// adding per-sample thermal noise sized so that the post-range-FFT per-bin
+// noise power equals Config.NoisePerBin. A nil rng yields a noiseless frame.
+func (c Config) Synthesize(scatterers []Scatterer, rng *rand.Rand) Frame {
+	if err := c.Validate(); err != nil {
+		panic(fmt.Sprintf("radar: Synthesize on invalid config: %v", err))
+	}
+	lambda := c.Wavelength()
+	n := c.Samples
+	out := Frame{Samples: make([][]complex128, c.NumRx)}
+	for k := range out.Samples {
+		out.Samples[k] = make([]complex128, n)
+	}
+
+	for _, sc := range scatterers {
+		if sc.Amplitude <= 0 || sc.Range <= 0 {
+			continue
+		}
+		// Beat frequency from range plus Doppler.
+		fb := 2*c.Slope*sc.Range/em.C + 2*sc.RadialVelocity/lambda
+		base := 4*math.Pi*sc.Range/lambda + sc.Phase
+		sinAz := math.Sin(sc.Azimuth)
+		for k := 0; k < c.NumRx; k++ {
+			aoa := 2 * math.Pi * float64(k) * c.RxSpacing * sinAz / lambda
+			ch := out.Samples[k]
+			for t := 0; t < n; t++ {
+				tt := float64(t) / c.SampleRate
+				ph := -(2*math.Pi*fb*tt + base + aoa)
+				ch[t] += complex(sc.Amplitude*math.Cos(ph), sc.Amplitude*math.Sin(ph))
+			}
+		}
+	}
+
+	if rng != nil {
+		// Per-sample noise such that after an N-point averaged FFT the
+		// per-bin noise power equals NoisePerBin: the normalized FFT
+		// averages N samples, reducing noise power by N.
+		sigma := math.Sqrt(c.NoisePerBin()*float64(n)) / math.Sqrt2
+		for k := range out.Samples {
+			ch := out.Samples[k]
+			for t := range ch {
+				ch[t] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+			}
+		}
+	}
+	if c.ADCBits > 0 {
+		quantize(out, c.ADCBits)
+	}
+	return out
+}
+
+// quantize applies a b-bit midrise converter with per-frame AGC: the full
+// scale tracks the largest I/Q excursion (plus headroom), as a real
+// front end's gain control would.
+func quantize(f Frame, bits int) {
+	peak := 0.0
+	for _, ch := range f.Samples {
+		for _, v := range ch {
+			if a := math.Abs(real(v)); a > peak {
+				peak = a
+			}
+			if a := math.Abs(imag(v)); a > peak {
+				peak = a
+			}
+		}
+	}
+	if peak == 0 {
+		return
+	}
+	full := peak * 1.1
+	levels := float64(int(1) << (bits - 1)) // per polarity
+	step := full / levels
+	q := func(x float64) float64 {
+		return (math.Floor(x/step) + 0.5) * step
+	}
+	for _, ch := range f.Samples {
+		for t, v := range ch {
+			ch[t] = complex(q(real(v)), q(imag(v)))
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package radar
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ros/internal/dsp"
+)
+
+// RangeProfile is the per-channel range response of one frame (Eq 3).
+type RangeProfile struct {
+	// Bins is indexed [rx][rangeBin]; magnitudes are normalized so a point
+	// scatterer's peak equals its Scatterer.Amplitude.
+	Bins [][]complex128
+	// BinSize is the range per bin in meters.
+	BinSize float64
+}
+
+// RangeProfile applies the range transform of Eq 3 to a frame: an FFT over
+// fast time per channel, normalized by the sample count so bin magnitudes
+// are calibrated amplitudes.
+func (c Config) RangeProfile(f Frame) RangeProfile {
+	if len(f.Samples) != c.NumRx {
+		panic(fmt.Sprintf("radar: frame has %d channels, config %d", len(f.Samples), c.NumRx))
+	}
+	out := RangeProfile{Bins: make([][]complex128, c.NumRx), BinSize: c.RangeBinSize()}
+	// Hann window against range sidelobes (a -2 dBsm street lamp would
+	// otherwise smear -13 dB rectangular sidelobes across the whole
+	// profile); normalized by the coherent gain to keep bin magnitudes
+	// calibrated.
+	win := dsp.Hann.Coefficients(c.Samples)
+	gain := dsp.Hann.CoherentGain(c.Samples)
+	for k, ch := range f.Samples {
+		if len(ch) != c.Samples {
+			panic(fmt.Sprintf("radar: channel %d has %d samples, config %d", k, len(ch), c.Samples))
+		}
+		// The beat phase decreases with time (see Synthesize), so the
+		// range peak appears in the IFFT, exactly as Eq 3 writes it; the
+		// IFFT's 1/N scaling makes bin magnitudes calibrated amplitudes.
+		windowed := make([]complex128, len(ch))
+		for i, v := range ch {
+			windowed[i] = v * complex(win[i]/gain, 0)
+		}
+		out.Bins[k] = dsp.IFFT(windowed)
+	}
+	return out
+}
+
+// BinForRange returns the range bin index closest to r meters.
+func (c Config) BinForRange(r float64) int {
+	b := int(math.Round(r / c.RangeBinSize()))
+	if b < 0 {
+		b = 0
+	}
+	if b >= c.Samples {
+		b = c.Samples - 1
+	}
+	return b
+}
+
+// AoASpectrum evaluates Eq 4 at one range bin: conventional beamforming
+// across the Rx array over the given steering angles (radians from
+// boresight). It returns the beamformed power (watts) per angle.
+func (c Config) AoASpectrum(rp RangeProfile, bin int, angles []float64) []float64 {
+	if bin < 0 || bin >= len(rp.Bins[0]) {
+		panic(fmt.Sprintf("radar: AoA at bin %d of %d", bin, len(rp.Bins[0])))
+	}
+	lambda := c.Wavelength()
+	out := make([]float64, len(angles))
+	for i, th := range angles {
+		var sum complex128
+		sinTh := math.Sin(th)
+		for k := 0; k < c.NumRx; k++ {
+			w := 2 * math.Pi * float64(k) * c.RxSpacing * sinTh / lambda
+			steer := complex(math.Cos(w), math.Sin(w))
+			sum += rp.Bins[k][bin] * steer
+		}
+		sum /= complex(float64(c.NumRx), 0)
+		out[i] = real(sum)*real(sum) + imag(sum)*imag(sum)
+	}
+	return out
+}
+
+// BeamformRSS "spotlights" a known target (Sec 6): it steers the array to
+// the given azimuth at the given range and returns the received power in
+// watts.
+func (c Config) BeamformRSS(f Frame, rangeM, azimuth float64) float64 {
+	rp := c.RangeProfile(f)
+	bin := c.BinForRange(rangeM)
+	p := c.AoASpectrum(rp, bin, []float64{azimuth})
+	return p[0]
+}
+
+// Detection is one point in the radar point cloud.
+type Detection struct {
+	// Range in meters.
+	Range float64
+	// Azimuth in radians from boresight.
+	Azimuth float64
+	// Power is the beamformed received power in watts.
+	Power float64
+}
+
+// DetectOptions tunes point-cloud extraction.
+type DetectOptions struct {
+	// ThresholdDB is the detection threshold above the estimated noise
+	// floor (default 12 dB).
+	ThresholdDB float64
+	// MaxPerBin caps the number of angular peaks kept per range bin
+	// (default 2).
+	MaxPerBin int
+	// MinRange drops the DC/leakage region (default: 4 range bins).
+	MinRange float64
+	// UseCFAR replaces the global median threshold with cell-averaging
+	// CFAR (see CFARDetect), which stays calibrated when clutter raises
+	// the floor locally.
+	UseCFAR bool
+	// CFAR tunes the CFAR detector when UseCFAR is set.
+	CFAR CFAROptions
+}
+
+// PointCloud extracts detections from a frame: per range bin, non-coherent
+// power across channels against a median-based noise estimate, then an AoA
+// scan for bins above threshold (the standard flow of Sec 3.2).
+func (c Config) PointCloud(f Frame, opts DetectOptions) []Detection {
+	return c.PointCloudFromProfile(c.RangeProfile(f), opts)
+}
+
+// PointCloudFromProfile is PointCloud for an already-computed range profile
+// (callers that also spotlight objects reuse the profile).
+func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Detection {
+	if opts.ThresholdDB == 0 {
+		opts.ThresholdDB = 12
+	}
+	if opts.MaxPerBin == 0 {
+		opts.MaxPerBin = 2
+	}
+	if opts.MinRange == 0 {
+		opts.MinRange = 4 * c.RangeBinSize()
+	}
+	n := len(rp.Bins[0])
+
+	// Non-coherent channel-summed power per range bin.
+	power := make([]float64, n)
+	for _, ch := range rp.Bins {
+		for i, v := range ch {
+			power[i] += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	noise := dsp.Median(power)
+	if noise <= 0 {
+		noise = 1e-30
+	}
+	thresh := noise * dsp.FromDB(opts.ThresholdDB)
+	var cfarHits map[int]bool
+	if opts.UseCFAR {
+		cfar := opts.CFAR
+		if cfar.ThresholdDB == 0 {
+			cfar.ThresholdDB = opts.ThresholdDB
+		}
+		cfarHits = make(map[int]bool)
+		for _, idx := range CFARDetect(power, cfar) {
+			cfarHits[idx] = true
+		}
+	}
+
+	angles := c.scanAngles()
+	var out []Detection
+	for i := 1; i < n-1; i++ {
+		r := float64(i) * rp.BinSize
+		if r < opts.MinRange {
+			continue
+		}
+		if opts.UseCFAR {
+			if !cfarHits[i] {
+				continue
+			}
+		} else if power[i] < thresh || power[i] < power[i-1] || power[i] <= power[i+1] {
+			continue
+		}
+		spec := c.AoASpectrum(rp, i, angles)
+		// Gate at 20 percent of the strongest response so the 4-element
+		// array's -11 dB sidelobes do not spawn ghost points.
+		maxSpec, _ := dsp.Max(spec)
+		minHeight := math.Max(dsp.Mean(spec), 0.2*maxSpec)
+		peaks := dsp.FindPeaks(spec, minHeight, 3)
+		if len(peaks) > opts.MaxPerBin {
+			peaks = peaks[:opts.MaxPerBin]
+		}
+		for _, p := range peaks {
+			az := angles[0] + p.Pos*(angles[1]-angles[0])
+			out = append(out, Detection{Range: r, Azimuth: az, Power: p.Value})
+		}
+	}
+	return out
+}
+
+// scanAngles returns the AoA scan grid: +/-60 deg (the radar antenna FoV,
+// Sec 7.3) in 1-degree steps.
+func (c Config) scanAngles() []float64 {
+	const step = math.Pi / 180
+	var out []float64
+	for a := -60.0 * step; a <= 60*step+1e-12; a += step {
+		out = append(out, a)
+	}
+	return out
+}
+
+// ChannelPower returns the total power in one channel of a frame (useful for
+// diagnostics and tests).
+func ChannelPower(f Frame, k int) float64 {
+	sum := 0.0
+	for _, v := range f.Samples[k] {
+		sum += cmplx.Abs(v) * cmplx.Abs(v)
+	}
+	return sum
+}

@@ -1,0 +1,52 @@
+package scene
+
+import "ros/internal/geom"
+
+// Blockage (Sec 7.3): "detection and decoding of a RoS tag fails when it is
+// fully blocked by another vehicle, since mmWave signals cannot penetrate
+// metal. Chances of full blockage can be reduced by mounting RoS tags higher
+// than the vehicles and installing redundant RoS tags along the road."
+// Blockers model parked/passing vehicles as opaque vertical slabs between
+// the road and the curb.
+
+// Blocker is an opaque slab parallel to the road: it spans [X0, X1] along
+// the road at lateral position Y, up to height Top.
+type Blocker struct {
+	// X0 and X1 bound the slab along the road (X0 < X1).
+	X0, X1 float64
+	// Y is the slab's lateral position (between the radar's lane and the
+	// tag).
+	Y float64
+	// Top is the slab's height; rays passing above it clear the blocker
+	// (mounting tags high defeats low blockers, the paper's mitigation).
+	Top float64
+}
+
+// Blocks reports whether the line of sight from the radar to the target is
+// interrupted by the slab.
+func (b Blocker) Blocks(radar, target geom.Vec3) bool {
+	dy := target.Y - radar.Y
+	if dy == 0 {
+		return false
+	}
+	t := (b.Y - radar.Y) / dy
+	if t <= 0 || t >= 1 {
+		return false // the slab plane is not between the endpoints
+	}
+	x := radar.X + t*(target.X-radar.X)
+	if x < b.X0 || x > b.X1 {
+		return false
+	}
+	z := radar.Z + t*(target.Z-radar.Z)
+	return z <= b.Top
+}
+
+// blocked reports whether any scene blocker interrupts the path.
+func (s *Scene) blocked(radar, target geom.Vec3) bool {
+	for _, b := range s.Blockers {
+		if b.Blocks(radar, target) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package scene
+
+import (
+	"math/rand"
+	"testing"
+
+	"ros/internal/em"
+	"ros/internal/geom"
+)
+
+func TestBlockerGeometry(t *testing.T) {
+	b := Blocker{X0: -1, X1: 1, Y: 1.5, Top: 1.5}
+	radar := geom.Vec3{X: 0, Y: 3}
+	tag := geom.Vec3{}
+	if !b.Blocks(radar, tag) {
+		t.Error("direct path through the slab not blocked")
+	}
+	// Off to the side the ray crosses the slab plane outside [X0, X1].
+	if b.Blocks(geom.Vec3{X: 5, Y: 3}, tag) {
+		t.Error("oblique path around the slab blocked")
+	}
+	// A tall tag clears a low blocker: ray passes above Top at the slab.
+	highTag := geom.Vec3{Z: 3.5}
+	if b.Blocks(radar, highTag) {
+		t.Error("path above the slab blocked")
+	}
+	// The slab does not block targets on the radar's side of it.
+	near := geom.Vec3{X: 0, Y: 2}
+	if b.Blocks(radar, near) {
+		t.Error("target in front of the slab blocked")
+	}
+	// Degenerate: radar and target at the same Y.
+	if b.Blocks(geom.Vec3{Y: 3}, geom.Vec3{X: 1, Y: 3}) {
+		t.Error("parallel path blocked")
+	}
+}
+
+func TestBlockedTagProducesNoScatterers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tag := testTag(t, "1111", 8)
+	sc := &Scene{
+		Tags:     []*Tag{tag},
+		Blockers: []Blocker{{X0: -2, X1: 2, Y: 1.5, Top: 1.5}},
+	}
+	out := sc.Scatterers(geom.Vec3{Y: 3}, geom.Vec3{}, ModeDecode, em.TIRadar(), fc, rng)
+	if len(out) != 0 {
+		t.Errorf("blocked tag produced %d scatterers", len(out))
+	}
+	// From far down the road the ray clears the slab.
+	out = sc.Scatterers(geom.Vec3{X: -8, Y: 3}, geom.Vec3{}, ModeDecode, em.TIRadar(), fc, rng)
+	if len(out) == 0 {
+		t.Error("tag invisible from an unblocked angle")
+	}
+}
+
+func TestBlockerShadowsClutterToo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lamp := NewObject(ClassStreetLamp, geom.Vec3{}, rng)
+	sc := &Scene{
+		Clutter:  []*Object{lamp},
+		Blockers: []Blocker{{X0: -2, X1: 2, Y: 1.5, Top: 9}},
+	}
+	out := sc.Scatterers(geom.Vec3{Y: 3}, geom.Vec3{}, ModeDetect, em.TIRadar(), fc, rng)
+	if len(out) != 0 {
+		t.Errorf("blocked lamp produced %d scatterers", len(out))
+	}
+}

@@ -1,0 +1,65 @@
+package scene
+
+import (
+	"math"
+	"testing"
+
+	"ros/internal/geom"
+)
+
+func TestNilGroundIsTransparent(t *testing.T) {
+	var g *GroundMultipath
+	if f := g.TwoWayFactor(geom.Vec3{Y: 3}, geom.Vec3{}, 0.004); f != 1 {
+		t.Errorf("nil ground factor = %g, want 1", f)
+	}
+}
+
+func TestGroundFactorOscillatesWithHeight(t *testing.T) {
+	g := DefaultGround()
+	lambda := 0.0037948
+	radar := geom.Vec3{Y: 3}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for z := 0.0; z < 0.02; z += lambda / 32 {
+		f := g.TwoWayFactor(radar, geom.Vec3{Z: z}, lambda)
+		lo = math.Min(lo, f)
+		hi = math.Max(hi, f)
+	}
+	// With |Gamma| = 0.7 the one-way power envelope swings between
+	// (1-0.7)^2 = 0.09 and (1+0.7)^2 = 2.89.
+	if hi/lo < 5 {
+		t.Errorf("two-ray ripple only %gx over a height sweep", hi/lo)
+	}
+	if hi > 2.9 || lo < 0.08 {
+		t.Errorf("factor out of physical envelope: [%g, %g]", lo, hi)
+	}
+}
+
+func TestGroundBelowGradeTransparent(t *testing.T) {
+	g := DefaultGround()
+	if f := g.TwoWayFactor(geom.Vec3{Y: 3, Z: -1}, geom.Vec3{}, 0.004); f != 1 {
+		t.Errorf("below-grade factor = %g, want 1", f)
+	}
+}
+
+func TestGroundRippleFrequencyGrowsWithHeight(t *testing.T) {
+	// The path difference ~ 2*hr*ht/d: doubling the target height roughly
+	// doubles the phase, so the factor changes faster with distance.
+	g := DefaultGround()
+	lambda := 0.0037948
+	count := func(ht float64) int {
+		prevAbove := false
+		crossings := 0
+		for d := 2.0; d < 6; d += 0.002 {
+			f := g.TwoWayFactor(geom.Vec3{Y: d}, geom.Vec3{Z: ht}, lambda)
+			above := f > 1
+			if d > 2 && above != prevAbove {
+				crossings++
+			}
+			prevAbove = above
+		}
+		return crossings
+	}
+	if count(0.5) <= count(0.0) {
+		t.Error("ripple frequency did not grow with target height")
+	}
+}

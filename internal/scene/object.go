@@ -1,0 +1,149 @@
+// Package scene models the roadside world an RoS-equipped vehicle drives
+// through: the tag itself (an exact, per-module spherical-wavefront
+// scattering model that reproduces far-field spatial coding, elevation beam
+// shaping, and near-field distortion in one formula), plus the clutter
+// object library of Fig 13 (parking meters, street lamps, road signs,
+// pedestrians, trees) with class-calibrated RCS, spatial extent, and
+// polarization behaviour, and the fog conditions of Fig 16c.
+package scene
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ros/internal/em"
+	"ros/internal/geom"
+)
+
+// Class identifies a roadside object type (the x axis of Fig 13).
+type Class int
+
+// Object classes evaluated in Fig 13. ClassTripod is the bare mounting
+// tripod of Fig 11's illustration.
+const (
+	ClassTag Class = iota
+	ClassTripod
+	ClassParkingMeter
+	ClassStreetLamp
+	ClassRoadSign
+	ClassHuman
+	ClassTree
+)
+
+// String names the class as in Fig 13.
+func (c Class) String() string {
+	switch c {
+	case ClassTag:
+		return "RoS tag"
+	case ClassTripod:
+		return "tripod"
+	case ClassParkingMeter:
+		return "parking meter"
+	case ClassStreetLamp:
+		return "street lamp"
+	case ClassRoadSign:
+		return "road sign"
+	case ClassHuman:
+		return "pedestrian"
+	case ClassTree:
+		return "tree"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassStats carries the per-class calibration used to reproduce Fig 13.
+type ClassStats struct {
+	// RCSdBsm is the co-polarized (detection mode) radar cross section.
+	RCSdBsm float64
+	// CrossRejDB is the polarization rejection: how many dB weaker the
+	// object appears when the radar transmits on the switched polarization
+	// (Fig 13a: 16-19 dB for ordinary objects, ~13 dB for the tag).
+	CrossRejDB float64
+	// CrossRejSpreadDB is the per-measurement spread of the rejection.
+	CrossRejSpreadDB float64
+	// Extent is the object's RMS spatial size in meters (Fig 13b).
+	Extent float64
+	// PointCount is how many scatter points represent the object.
+	PointCount int
+}
+
+// Stats returns the calibration for a class. Values are chosen to match the
+// medians and orderings of Fig 13: the tag has the smallest RSS loss
+// (~13 dB) and the smallest point-cloud size except pedestrians.
+func Stats(c Class) ClassStats {
+	switch c {
+	case ClassTag:
+		// RCSdBsm is the co-polarized structural return of the tag's PCB
+		// face, quoted for the beam-shaped 32-module 5-stack reference; it
+		// sits ~11-13 dB above the tag's median decode-mode response
+		// across shaped and unshaped variants, landing the measured RSS
+		// loss near Fig 13a's ~13 dB median with margin below the
+		// classification threshold.
+		return ClassStats{RCSdBsm: -7, CrossRejDB: 13, CrossRejSpreadDB: 1.0, Extent: 0.02, PointCount: 3}
+	case ClassTripod:
+		return ClassStats{RCSdBsm: -12, CrossRejDB: 17, CrossRejSpreadDB: 1.5, Extent: 0.08, PointCount: 4}
+	case ClassParkingMeter:
+		return ClassStats{RCSdBsm: -6, CrossRejDB: 17, CrossRejSpreadDB: 1.5, Extent: 0.1, PointCount: 5}
+	case ClassStreetLamp:
+		return ClassStats{RCSdBsm: -2, CrossRejDB: 18, CrossRejSpreadDB: 1.5, Extent: 0.13, PointCount: 6}
+	case ClassRoadSign:
+		return ClassStats{RCSdBsm: -4, CrossRejDB: 19, CrossRejSpreadDB: 1.5, Extent: 0.1, PointCount: 7}
+	case ClassHuman:
+		return ClassStats{RCSdBsm: -8, CrossRejDB: 16.5, CrossRejSpreadDB: 1.5, Extent: 0.06, PointCount: 5}
+	case ClassTree:
+		return ClassStats{RCSdBsm: 0, CrossRejDB: 16.5, CrossRejSpreadDB: 2.5, Extent: 0.13, PointCount: 10}
+	default:
+		panic(fmt.Sprintf("scene: unknown class %d", c))
+	}
+}
+
+// Object is a clutter object placed in the scene.
+type Object struct {
+	// Class selects the calibration.
+	Class Class
+	// Position is the object center in world coordinates (x along the
+	// road, y across, z up; the tag sits at the origin).
+	Position geom.Vec3
+	// Stats is the class calibration (filled by NewObject; override for
+	// ablations).
+	Stats ClassStats
+	// offsets are the scatter-point offsets from the center, drawn once at
+	// construction so the object is stable across frames.
+	offsets []geom.Vec3
+}
+
+// NewObject places a clutter object of the given class. The rng draws the
+// object's scatter-point geometry (per-instance, stable across frames).
+func NewObject(class Class, pos geom.Vec3, rng *rand.Rand) *Object {
+	if rng == nil {
+		panic("scene: NewObject requires an rng")
+	}
+	st := Stats(class)
+	offsets := make([]geom.Vec3, st.PointCount)
+	for i := range offsets {
+		// Rod-like objects spread mostly vertically; the extent controls
+		// the transverse spread seen by the 2-D point cloud.
+		offsets[i] = geom.Vec3{
+			X: rng.NormFloat64() * st.Extent,
+			Y: rng.NormFloat64() * st.Extent,
+			Z: rng.NormFloat64() * st.Extent * 3,
+		}
+	}
+	return &Object{Class: class, Position: pos, Stats: st, offsets: offsets}
+}
+
+// pointRCS returns the per-scatter-point RCS in m^2 so the points sum
+// (incoherently) to the class RCS.
+func (o *Object) pointRCS() float64 {
+	return em.FromDBsm(o.Stats.RCSdBsm) / float64(len(o.offsets))
+}
+
+// rejection draws the per-measurement polarization rejection in dB.
+func (o *Object) rejection(rng *rand.Rand) float64 {
+	r := o.Stats.CrossRejDB
+	if rng != nil {
+		r += rng.NormFloat64() * o.Stats.CrossRejSpreadDB
+	}
+	return r
+}

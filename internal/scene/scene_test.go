@@ -1,0 +1,281 @@
+package scene
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ros/internal/beamshape"
+	"ros/internal/coding"
+	"ros/internal/em"
+	"ros/internal/geom"
+	"ros/internal/stack"
+)
+
+const fc = em.CenterFrequency
+
+func testTag(t *testing.T, bits string, n int) *Tag {
+	t.Helper()
+	b, err := coding.ParseBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := coding.NewLayout(b, coding.DefaultDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := NewTag(layout, stack.NewUniform(n), geom.Vec3{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tag
+}
+
+func TestClassNamesAndStats(t *testing.T) {
+	classes := []Class{ClassTag, ClassTripod, ClassParkingMeter, ClassStreetLamp, ClassRoadSign, ClassHuman, ClassTree}
+	for _, c := range classes {
+		if c.String() == "unknown" {
+			t.Errorf("class %d has no name", c)
+		}
+		st := Stats(c)
+		if st.PointCount < 1 || st.Extent <= 0 {
+			t.Errorf("%v: degenerate stats %+v", c, st)
+		}
+	}
+	if Class(99).String() != "unknown" {
+		t.Error("unknown class misnamed")
+	}
+}
+
+func TestFig13aOrdering(t *testing.T) {
+	// Fig 13a: the tag's polarization RSS loss (~13 dB) is smaller than
+	// every ordinary object's rejection (16-19 dB).
+	tagRej := Stats(ClassTag).CrossRejDB
+	for _, c := range []Class{ClassParkingMeter, ClassStreetLamp, ClassRoadSign, ClassHuman, ClassTree} {
+		if rej := Stats(c).CrossRejDB; rej <= tagRej+2 {
+			t.Errorf("%v rejection %g dB not well above tag's %g dB", c, rej, tagRej)
+		}
+	}
+}
+
+func TestFig13bOrdering(t *testing.T) {
+	// Fig 13b: the tag's point-cloud size is the smallest; only pedestrians
+	// come close.
+	tagExt := Stats(ClassTag).Extent
+	for _, c := range []Class{ClassParkingMeter, ClassStreetLamp, ClassRoadSign, ClassTree} {
+		if ext := Stats(c).Extent; ext <= tagExt*1.5 {
+			t.Errorf("%v extent %g not well above tag's %g", c, ext, tagExt)
+		}
+	}
+	if h := Stats(ClassHuman).Extent; h > Stats(ClassRoadSign).Extent {
+		t.Error("pedestrian extent should be below road sign's")
+	}
+}
+
+func TestStatsPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown class accepted")
+		}
+	}()
+	Stats(Class(99))
+}
+
+func TestTagResponseFarFieldMatchesEq6(t *testing.T) {
+	// In the far field the exact per-module model must reproduce Eq 6's
+	// plane-wave multi-stack gain.
+	tag := testTag(t, "1111", 8)
+	lambda := em.Lambda79()
+	pos := tag.Layout.Positions()
+	r := 60.0
+	for _, deg := range []float64{70, 90, 110} {
+		th := geom.Rad(deg)
+		radarPos := geom.Vec3{X: r * math.Cos(th), Y: r * math.Sin(th)}
+		u := tag.U(radarPos)
+		exact := tag.RCS(radarPos, fc)
+		// Reference: single-stack RCS at this azimuth times Eq 6 gain.
+		az := math.Atan2(radarPos.X, radarPos.Y)
+		single := tag.Stack.RCS(az, 0, fc, em.PolV, em.PolH)
+		want := single * coding.MultiStackGain(pos, u, lambda) / 1 // gain includes M^2 scale
+		// The exact model sums stacks coherently: RCS = single *
+		// gain(normalized). MultiStackGain already includes the stack
+		// count, so compare ratios.
+		if want == 0 {
+			continue
+		}
+		ratio := exact / want
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("theta=%g: exact %g vs Eq6 %g (ratio %g)", deg, exact, want, ratio)
+		}
+	}
+}
+
+func TestTagUCoordinate(t *testing.T) {
+	tag := testTag(t, "11", 8)
+	if u := tag.U(geom.Vec3{X: 5, Y: 0}); math.Abs(u-1) > 1e-12 {
+		t.Errorf("u along +x = %g, want 1", u)
+	}
+	if u := tag.U(geom.Vec3{X: 0, Y: 5}); math.Abs(u) > 1e-12 {
+		t.Errorf("u broadside = %g, want 0", u)
+	}
+	if u := tag.U(geom.Vec3{}); u != 0 {
+		t.Errorf("u at tag = %g", u)
+	}
+}
+
+func TestTagRCSPeakAtBroadside(t *testing.T) {
+	// All stacks align at u = 0: RCS = single-stack RCS * M^2.
+	tag := testTag(t, "1111", 32)
+	radarPos := geom.Vec3{Y: 50}
+	got := em.DBsm(tag.RCS(radarPos, fc))
+	single := em.DBsm(tag.Stack.RCS(0, 0, fc, em.PolV, em.PolH))
+	want := single + 20*math.Log10(5)
+	if math.Abs(got-want) > 1.5 {
+		t.Errorf("broadside tag RCS = %g dBsm, want ~%g", got, want)
+	}
+}
+
+func TestShapedTagRCSMatchesPaperLinkBudget(t *testing.T) {
+	// Sec 5.3 uses sigma = -23 dBsm for the 32-module tag; our shaped
+	// 32-module single stack at broadside should be within a few dB.
+	sh := beamshape.Shaped(32)
+	got := em.DBsm(sh.RCS(0, 0, fc, em.PolV, em.PolH))
+	if math.Abs(got-(-23)) > 4 {
+		t.Errorf("shaped 32-stack RCS = %g dBsm, want ~-23", got)
+	}
+}
+
+func TestNewTagErrors(t *testing.T) {
+	if _, err := NewTag(nil, stack.NewUniform(4), geom.Vec3{}); err == nil {
+		t.Error("nil layout accepted")
+	}
+	bits, _ := coding.ParseBits("11")
+	layout, _ := coding.NewLayout(bits, coding.DefaultDelta())
+	if _, err := NewTag(layout, nil, geom.Vec3{}); err == nil {
+		t.Error("nil stack accepted")
+	}
+	bad := stack.NewUniform(4)
+	bad.Phases = bad.Phases[:2]
+	if _, err := NewTag(layout, bad, geom.Vec3{}); err == nil {
+		t.Error("invalid stack accepted")
+	}
+}
+
+func TestScatterersDecodeVsDetect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tag := testTag(t, "1111", 32)
+	lamp := NewObject(ClassStreetLamp, geom.Vec3{X: 1, Y: 0.5}, rng)
+	sc := &Scene{Tags: []*Tag{tag}, Clutter: []*Object{lamp}}
+	radarPos := geom.Vec3{Y: 4}
+	fe := em.TIRadar()
+
+	det := sc.Scatterers(radarPos, geom.Vec3{}, ModeDetect, fe, fc, rng)
+	dec := sc.Scatterers(radarPos, geom.Vec3{}, ModeDecode, fe, fc, rng)
+	if len(det) == 0 || len(dec) == 0 {
+		t.Fatal("no scatterers generated")
+	}
+
+	power := func(list []struct {
+		amp float64
+	}) float64 {
+		return 0
+	}
+	_ = power
+
+	sum := func(scs []float64) float64 {
+		s := 0.0
+		for _, v := range scs {
+			s += v
+		}
+		return s
+	}
+	lampPowerDet, lampPowerDec := 0.0, 0.0
+	for _, s := range det {
+		if s.Range < 3.9 { // lamp is closer than the tag
+			lampPowerDet += s.Amplitude * s.Amplitude
+		}
+	}
+	for _, s := range dec {
+		if s.Range < 3.9 {
+			lampPowerDec += s.Amplitude * s.Amplitude
+		}
+	}
+	// Clutter drops by its cross-pol rejection (~18 dB) in decode mode.
+	drop := em.DB(lampPowerDet / lampPowerDec)
+	if drop < 12 || drop > 24 {
+		t.Errorf("lamp decode-mode suppression = %g dB, want ~18", drop)
+	}
+	_ = sum
+}
+
+func TestScatterersFogReducesAmplitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tag := testTag(t, "1111", 32)
+	clear := &Scene{Tags: []*Tag{tag}, Fog: em.FogClear}
+	foggy := &Scene{Tags: []*Tag{tag}, Fog: em.FogHeavy}
+	radarPos := geom.Vec3{Y: 5}
+	fe := em.TIRadar()
+	a := clear.Scatterers(radarPos, geom.Vec3{}, ModeDecode, fe, fc, rng)
+	b := foggy.Scatterers(radarPos, geom.Vec3{}, ModeDecode, fe, fc, rng)
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("unexpected scatterer counts %d, %d", len(a), len(b))
+	}
+	lossDB := 2 * em.DB(a[0].Amplitude/b[0].Amplitude)
+	// Two-way heavy fog at 5 m: 2 * 0.02 dB/m * 5 m = 0.2 dB.
+	if lossDB < 0.05 || lossDB > 0.5 {
+		t.Errorf("heavy fog loss at 5 m = %g dB, want ~0.2", lossDB)
+	}
+}
+
+func TestScatterersOutsideFoVDark(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tag := testTag(t, "11", 8)
+	sc := &Scene{Tags: []*Tag{tag}}
+	// Radar behind the tag plane: azimuth > 90 deg off boresight.
+	radarPos := geom.Vec3{Y: -3}
+	out := sc.Scatterers(radarPos, geom.Vec3{}, ModeDecode, em.TIRadar(), fc, rng)
+	if len(out) != 0 {
+		t.Errorf("tag visible from behind: %+v", out)
+	}
+}
+
+func TestScatterersDoppler(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tag := testTag(t, "11", 8)
+	sc := &Scene{Tags: []*Tag{tag}}
+	fe := em.TIRadar()
+	// Vehicle at x=-3 moving +x at 10 m/s, tag at origin: closing.
+	pos := geom.Vec3{X: -3, Y: 3}
+	vel := geom.Vec3{X: 10}
+	out := sc.Scatterers(pos, vel, ModeDecode, fe, fc, rng)
+	if len(out) != 1 {
+		t.Fatalf("got %d scatterers", len(out))
+	}
+	if out[0].RadialVelocity >= 0 {
+		t.Errorf("closing target has radial velocity %g, want negative", out[0].RadialVelocity)
+	}
+}
+
+func TestTagResponsePhaseRelative(t *testing.T) {
+	// The response phase must be relative to the tag center so the radar
+	// model can add the center's round-trip phase itself: at broadside in
+	// the far field all stacks are symmetric, so the phase contribution of
+	// +d and -d stacks cancel to something stable; more importantly the
+	// response at very large distance converges.
+	tag := testTag(t, "1111", 8)
+	a := tag.Response(geom.Vec3{Y: 500}, fc)
+	b := tag.Response(geom.Vec3{Y: 500.0001}, fc)
+	if d := cmplx.Abs(a - b); d > 0.05*cmplx.Abs(a) {
+		t.Errorf("response unstable over 0.1 mm at 500 m: |a-b| = %g", d)
+	}
+}
+
+func TestNewObjectPanicsWithoutRng(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil rng accepted")
+		}
+	}()
+	NewObject(ClassTree, geom.Vec3{}, nil)
+}

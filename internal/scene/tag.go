@@ -1,0 +1,138 @@
+package scene
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ros/internal/coding"
+	"ros/internal/em"
+	"ros/internal/geom"
+	"ros/internal/stack"
+)
+
+// Tag is a physical RoS tag placed in the scene: a spatial-coding layout of
+// identical (beam-shaped) PSVAA stacks. Its decode-mode radar response is
+// computed with exact spherical wavefronts per module, so far-field spatial
+// coding (Eq 6), elevation beam shaping (Sec 4.3), and near-field distortion
+// (Eq 8) all emerge from one model.
+type Tag struct {
+	// Layout is the spatial code.
+	Layout *coding.Layout
+	// Stack is the vertical PSVAA stack used for every present stack
+	// position.
+	Stack *stack.Stack
+	// Position is the reference stack's center in world coordinates. The
+	// tag's horizontal axis is parallel to the road (x).
+	Position geom.Vec3
+	// Stats calibrates the tag's co-polarized (detection mode) appearance;
+	// defaults to Stats(ClassTag).
+	Stats ClassStats
+}
+
+// NewTag assembles a tag from a layout and a stack at the given position.
+func NewTag(layout *coding.Layout, st *stack.Stack, pos geom.Vec3) (*Tag, error) {
+	if layout == nil || st == nil {
+		return nil, fmt.Errorf("scene: tag requires a layout and a stack")
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tag{Layout: layout, Stack: st, Position: pos, Stats: Stats(ClassTag)}, nil
+}
+
+// Response returns the tag's decode-mode complex reflection coefficient for
+// a radar at the given world position: amplitude^2 is the tag RCS in m^2 and
+// the phase is relative to the tag center (the center's own round-trip phase
+// is applied by the radar model through Scatterer.Range).
+func (t *Tag) Response(radarPos geom.Vec3, f float64) complex128 {
+	lambda := em.Wavelength(f)
+	k := 4 * math.Pi / lambda
+	rel := radarPos.Sub(t.Position)
+	rCenter := rel.Norm()
+	if rCenter == 0 {
+		return 0
+	}
+	// Azimuth from the stack's broadside (+y): the PSVAA is retroreflective
+	// here, so only the smooth envelope remains.
+	az := math.Atan2(rel.X, rel.Y)
+	moduleAmp := math.Sqrt(t.Stack.Module.MonostaticRCS(az, f, em.PolV, em.PolH))
+	if moduleAmp == 0 {
+		return 0
+	}
+
+	var sum complex128
+	for _, d := range t.Layout.Positions() {
+		base := t.Position.Add(geom.Vec3{X: d})
+		for j, zj := range t.Stack.Heights {
+			q := base.Add(geom.Vec3{Z: zj})
+			rq := radarPos.Sub(q)
+			r := rq.Norm()
+			horiz := math.Hypot(rq.X, rq.Y)
+			el := math.Atan2(rq.Z, horiz)
+			elemEl := t.Stack.Module.Element.Pattern(el)
+			ph := -k*(r-rCenter) + t.Stack.Phases[j]
+			amp := moduleAmp * elemEl
+			sum += complex(amp*math.Cos(ph), amp*math.Sin(ph))
+		}
+	}
+	return sum
+}
+
+// RCS returns the decode-mode radar cross section in m^2 seen from
+// radarPos.
+func (t *Tag) RCS(radarPos geom.Vec3, f float64) float64 {
+	a := cmplx.Abs(t.Response(radarPos, f))
+	return a * a
+}
+
+// ElevationEnvelope returns the exact (near-field) elevation power factor of
+// one stack seen from radarPos, normalized to the same position at the tag's
+// height: the ratio by which height misalignment scales the tag's return.
+// Both the antenna mode and the structural mode radiate from the same
+// aperture, so this factor applies to detection-mode returns too.
+func (t *Tag) ElevationEnvelope(radarPos geom.Vec3, f float64) float64 {
+	flat := radarPos
+	flat.Z = t.Position.Z
+	p0 := t.stackPower(flat, f)
+	if p0 <= 0 {
+		return 1
+	}
+	return t.stackPower(radarPos, f) / p0
+}
+
+// stackPower evaluates the per-module coherent sum for the reference stack
+// only (elevation structure without the spatial code).
+func (t *Tag) stackPower(radarPos geom.Vec3, f float64) float64 {
+	lambda := em.Wavelength(f)
+	k := 4 * math.Pi / lambda
+	rel := radarPos.Sub(t.Position)
+	rCenter := rel.Norm()
+	if rCenter == 0 {
+		return 0
+	}
+	var re, im float64
+	for j, zj := range t.Stack.Heights {
+		q := t.Position.Add(geom.Vec3{Z: zj})
+		rq := radarPos.Sub(q)
+		r := rq.Norm()
+		el := math.Atan2(rq.Z, math.Hypot(rq.X, rq.Y))
+		amp := t.Stack.Module.Element.Pattern(el)
+		ph := -k*(r-rCenter) + t.Stack.Phases[j]
+		re += amp * math.Cos(ph)
+		im += amp * math.Sin(ph)
+	}
+	return re*re + im*im
+}
+
+// U returns the spatial-coding observation coordinate u = cos(theta) for a
+// radar at the given position, theta being the angle between the radar line
+// of sight and the tag's +x axis (Sec 5.1).
+func (t *Tag) U(radarPos geom.Vec3) float64 {
+	rel := radarPos.Sub(t.Position)
+	n := rel.Norm()
+	if n == 0 {
+		return 0
+	}
+	return rel.X / n
+}

@@ -1,0 +1,215 @@
+// Package signs gives RoS bit patterns road-sign semantics — the layer
+// Fig 1 of the paper sketches ("Coding Bit 1111 -> Traffic Light Ahead!") —
+// and packs longer, error-protected messages across multiple tags, combining
+// the Sec 5.3 side-by-side deployment with the Sec 8 suggestion of error
+// correction.
+package signs
+
+import (
+	"fmt"
+
+	"ros/internal/coding"
+)
+
+// Sign is a roadside message a 4-bit tag can carry.
+type Sign int
+
+// The 4-bit sign catalog. Code 0000 is reserved (an all-absent tag has no
+// coding stacks to detect).
+const (
+	SignReserved Sign = iota
+	SignSpeedLimit25
+	SignSpeedLimit35
+	SignSpeedLimit45
+	SignSpeedLimit55
+	SignSpeedLimit65
+	SignStopAhead
+	SignYieldAhead
+	SignCrosswalkAhead
+	SignSchoolZone
+	SignLaneEndsMerge
+	SignSharpCurve
+	SignRoadWorkAhead
+	SignLowClearance
+	SignRailroadCrossing
+	SignTrafficLightAhead // 1111, the paper's Fig 1 example
+)
+
+// String names the sign.
+func (s Sign) String() string {
+	names := [...]string{
+		"reserved",
+		"speed limit 25",
+		"speed limit 35",
+		"speed limit 45",
+		"speed limit 55",
+		"speed limit 65",
+		"stop ahead",
+		"yield ahead",
+		"crosswalk ahead",
+		"school zone",
+		"lane ends, merge",
+		"sharp curve",
+		"road work ahead",
+		"low clearance",
+		"railroad crossing",
+		"traffic light ahead",
+	}
+	if s < 0 || int(s) >= len(names) {
+		return "unknown"
+	}
+	return names[s]
+}
+
+// Bits returns the 4-bit tag pattern for the sign, most significant bit
+// first.
+func (s Sign) Bits() (string, error) {
+	if s <= SignReserved || s > SignTrafficLightAhead {
+		return "", fmt.Errorf("signs: %d is not an encodable sign", s)
+	}
+	v := int(s)
+	out := make([]byte, 4)
+	for i := 0; i < 4; i++ {
+		if v&(8>>i) != 0 {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out), nil
+}
+
+// Parse recovers the sign from decoded tag bits.
+func Parse(bits string) (Sign, error) {
+	b, err := coding.ParseBits(bits)
+	if err != nil {
+		return SignReserved, err
+	}
+	if len(b) != 4 {
+		return SignReserved, fmt.Errorf("signs: need 4 bits, got %d", len(b))
+	}
+	v := 0
+	for i, bit := range b {
+		if bit {
+			v |= 8 >> i
+		}
+	}
+	if v == 0 {
+		return SignReserved, fmt.Errorf("signs: 0000 is reserved")
+	}
+	return Sign(v), nil
+}
+
+// EncodeMessage packs an arbitrary byte message onto 5-bit tags with
+// Hamming(7,4) protection: each nibble becomes a 7-bit codeword plus an
+// overall parity bit (8 bits), carried by two 5-bit tags. Each tag holds 4
+// payload bits and a forced-one trailing bit, so no tag is ever the
+// undetectable all-absent pattern, and a flip of the forced bit is directly
+// detectable while a flip of any payload bit is a single codeword error the
+// Hamming decoder corrects.
+func EncodeMessage(data []byte) ([]string, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("signs: empty message")
+	}
+	var tags []string
+	for _, b := range data {
+		for _, nibble := range [2]byte{b >> 4, b & 0x0f} {
+			bits := []bool{nibble&8 != 0, nibble&4 != 0, nibble&2 != 0, nibble&1 != 0}
+			code, err := coding.HammingEncode(bits)
+			if err != nil {
+				return nil, err
+			}
+			// Append an overall parity bit, then frame 4+4 payload bits
+			// into two 5-bit tags with forced-one trailers.
+			parity := false
+			for _, c := range code {
+				parity = parity != c
+			}
+			word := append(append([]bool(nil), code...), parity)
+			tags = append(tags, frameTag(word[:4]), frameTag(word[4:]))
+		}
+	}
+	return tags, nil
+}
+
+// frameTag appends the forced-one trailer to 4 payload bits.
+func frameTag(payload []bool) string {
+	return coding.BitsString(append(append([]bool(nil), payload...), true))
+}
+
+// DecodeMessage reassembles a byte message from decoded tag bit strings,
+// correcting single-bit errors per tag pair. It returns the message and the
+// number of corrected bits.
+func DecodeMessage(tags []string) (data []byte, corrected int, err error) {
+	if len(tags) == 0 || len(tags)%4 != 0 {
+		return nil, 0, fmt.Errorf("signs: need a multiple of 4 tags (2 per nibble, 2 nibbles per byte), got %d", len(tags))
+	}
+	var nibbles []byte
+	for i := 0; i+1 < len(tags); i += 2 {
+		hi, fixHi, err := unframeTag(tags[i])
+		if err != nil {
+			return nil, 0, fmt.Errorf("signs: tag %d: %w", i, err)
+		}
+		lo, fixLo, err := unframeTag(tags[i+1])
+		if err != nil {
+			return nil, 0, fmt.Errorf("signs: tag %d: %w", i+1, err)
+		}
+		corrected += fixHi + fixLo
+		word := append(append([]bool(nil), hi...), lo...)
+		nib, fixes, err := decodeProtectedNibble(word)
+		if err != nil {
+			return nil, 0, err
+		}
+		corrected += fixes
+		nibbles = append(nibbles, nib)
+	}
+	data = make([]byte, len(nibbles)/2)
+	for i := range data {
+		data[i] = nibbles[2*i]<<4 | nibbles[2*i+1]
+	}
+	return data, corrected, nil
+}
+
+// unframeTag strips a 5-bit tag's forced-one trailer, reporting 1 fix when
+// the trailer itself was flipped (the payload is then known-clean).
+func unframeTag(tag string) (payload []bool, fixes int, err error) {
+	bits, err := coding.ParseBits(tag)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(bits) != 5 {
+		return nil, 0, fmt.Errorf("signs: message tags carry 5 bits, got %d", len(bits))
+	}
+	if !bits[4] {
+		fixes = 1 // the forced bit flipped; payload bits are intact
+	}
+	return bits[:4], fixes, nil
+}
+
+// decodeProtectedNibble decodes one 8-bit (codeword + parity) word.
+func decodeProtectedNibble(word []bool) (byte, int, error) {
+	code := word[:7]
+	parity := word[7]
+	want := false
+	for _, c := range code {
+		want = want != c
+	}
+	bits, fixed, err := coding.HammingDecode(code)
+	if err != nil {
+		return 0, 0, err
+	}
+	fixes := 0
+	if fixed != 0 {
+		fixes = 1
+	} else if want != parity {
+		// The error hit the parity bit itself; the codeword is clean.
+		fixes = 1
+	}
+	var nib byte
+	for i, b := range bits {
+		if b {
+			nib |= 8 >> i
+		}
+	}
+	return nib, fixes, nil
+}

@@ -1,0 +1,173 @@
+package signs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignBitsRoundTrip(t *testing.T) {
+	for s := SignSpeedLimit25; s <= SignTrafficLightAhead; s++ {
+		bits, err := s.Bits()
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		back, err := Parse(bits)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if back != s {
+			t.Errorf("%v -> %q -> %v", s, bits, back)
+		}
+	}
+}
+
+func TestFig1Example(t *testing.T) {
+	// Fig 1: "Coding Bit 1111 -> Traffic Light Ahead!".
+	bits, err := SignTrafficLightAhead.Bits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != "1111" {
+		t.Errorf("traffic light ahead = %q, want 1111", bits)
+	}
+	s, err := Parse("1111")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != SignTrafficLightAhead {
+		t.Errorf("1111 parsed as %v", s)
+	}
+	if s.String() != "traffic light ahead" {
+		t.Errorf("name = %q", s.String())
+	}
+}
+
+func TestReservedAndInvalid(t *testing.T) {
+	if _, err := SignReserved.Bits(); err == nil {
+		t.Error("reserved sign encodable")
+	}
+	if _, err := Sign(99).Bits(); err == nil {
+		t.Error("out-of-range sign encodable")
+	}
+	if _, err := Parse("0000"); err == nil {
+		t.Error("0000 parsed")
+	}
+	if _, err := Parse("111"); err == nil {
+		t.Error("3-bit string parsed")
+	}
+	if _, err := Parse("11x1"); err == nil {
+		t.Error("invalid characters parsed")
+	}
+	if Sign(99).String() != "unknown" {
+		t.Error("out-of-range name")
+	}
+}
+
+func TestEncodeMessageShape(t *testing.T) {
+	tags, err := EncodeMessage([]byte("Go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 bytes -> 4 nibbles -> 8 tags.
+	if len(tags) != 8 {
+		t.Fatalf("got %d tags, want 8", len(tags))
+	}
+	for i, tag := range tags {
+		if len(tag) != 5 {
+			t.Errorf("tag %d = %q, want 5 bits", i, tag)
+		}
+		if tag == "00000" {
+			t.Errorf("tag %d is the undetectable all-absent pattern", i)
+		}
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	msg := []byte("SPEED LIMIT 65 / school zone 0700-1600")
+	tags, err := EncodeMessage(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, corrected, err := DecodeMessage(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected != 0 {
+		t.Errorf("clean message reported %d corrections", corrected)
+	}
+	if !bytes.Equal(back, msg) {
+		t.Errorf("round trip failed: %q -> %q", msg, back)
+	}
+}
+
+func TestMessageCorrectsSingleBitPerPair(t *testing.T) {
+	// Any single flipped bit anywhere in a 10-bit tag pair — payload,
+	// parity, or forced trailer — must be corrected.
+	f := func(b byte, flip uint8) bool {
+		tags, err := EncodeMessage([]byte{b})
+		if err != nil {
+			return false
+		}
+		pos := int(flip % 10)
+		pair := tags[0] + tags[1]
+		flipped := []byte(pair)
+		if flipped[pos] == '0' {
+			flipped[pos] = '1'
+		} else {
+			flipped[pos] = '0'
+		}
+		tags[0], tags[1] = string(flipped[:5]), string(flipped[5:])
+		back, corrected, err := DecodeMessage(tags)
+		if err != nil {
+			return false
+		}
+		return corrected >= 1 && len(back) == 1 && back[0] == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMessageCorrectsParityBitError(t *testing.T) {
+	tags, err := EncodeMessage([]byte{0xA7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The overall parity bit is the 4th payload bit of the second tag.
+	flipped := []byte(tags[1])
+	if flipped[3] == '0' {
+		flipped[3] = '1'
+	} else {
+		flipped[3] = '0'
+	}
+	tags[1] = string(flipped)
+	back, corrected, err := DecodeMessage(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected != 1 || back[0] != 0xA7 {
+		t.Errorf("parity-bit error: corrected=%d back=%x", corrected, back)
+	}
+}
+
+func TestDecodeMessageErrors(t *testing.T) {
+	if _, _, err := DecodeMessage(nil); err == nil {
+		t.Error("empty tags accepted")
+	}
+	if _, _, err := DecodeMessage([]string{"11111", "00001"}); err == nil {
+		t.Error("non-multiple-of-4 accepted")
+	}
+	if _, _, err := DecodeMessage([]string{"11x11", "00001", "11111", "00001"}); err == nil {
+		t.Error("malformed bits accepted")
+	}
+	if _, _, err := DecodeMessage([]string{"1111", "00001", "11111", "00001"}); err == nil {
+		t.Error("4-bit tag accepted")
+	}
+}
+
+func TestEncodeMessageErrors(t *testing.T) {
+	if _, err := EncodeMessage(nil); err == nil {
+		t.Error("empty message accepted")
+	}
+}

@@ -1,0 +1,296 @@
+// Package sim runs end-to-end drive-by experiments: a vehicle-mounted FMCW
+// radar passes an RoS tag on a straight trajectory, detects it among
+// clutter (package detect), samples its RCS over u = cos(theta), and decodes
+// the spatial code (package coding). Every evaluation figure of Sec 7
+// (Fig 13-18) is a parameter sweep over this runner.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ros/internal/beamshape"
+	"ros/internal/coding"
+	"ros/internal/detect"
+	"ros/internal/dsp"
+	"ros/internal/em"
+	"ros/internal/geom"
+	"ros/internal/radar"
+	"ros/internal/scene"
+	"ros/internal/stack"
+	"ros/internal/track"
+)
+
+// DriveBy configures one pass.
+type DriveBy struct {
+	// Bits is the tag's bit string (e.g. "1111").
+	Bits string
+	// StackModules is the number of PSVAAs per stack (8, 16 or 32).
+	StackModules int
+	// BeamShaped selects elevation beam shaping (Sec 4.3); the Fig 14
+	// baseline sets it false.
+	BeamShaped bool
+	// Standoff is the radar-to-tag closest distance in meters.
+	Standoff float64
+	// HalfSpan is half the along-road pass length in meters (default
+	// 1.4x standoff, covering ~+/-54 deg of viewing angle).
+	HalfSpan float64
+	// Speed is the vehicle speed in m/s (default 2, the cart of Sec 7.1).
+	Speed float64
+	// HeightOffset raises the radar above the tag center (elevation
+	// misalignment, Fig 14).
+	HeightOffset float64
+	// Fog is the weather condition (Fig 16c).
+	Fog em.FogLevel
+	// RainMMPerHour adds rain at the given precipitation rate (Sec 7.3).
+	RainMMPerHour float64
+	// TrackingError is the relative self-tracking drift (Fig 16d).
+	TrackingError float64
+	// FoVDeg truncates the angular view of the tag (Fig 17); 0 means the
+	// default 120 deg (the radar-pattern-limited view).
+	FoVDeg float64
+	// WithClutter adds the Fig 13 object lineup near the tag.
+	WithClutter bool
+	// DisablePolSwitching ablates the PSVAA design (see scene.Scene).
+	DisablePolSwitching bool
+	// BlockerHalfLength parks an opaque vehicle-height slab of this
+	// half-length (m) halfway between the radar lane and the tag, centered
+	// on the tag (Sec 7.3's blockage scenario); 0 disables it.
+	BlockerHalfLength float64
+	// RedundantTagOffset places a second identical tag this far down the
+	// road (the paper's blockage mitigation: "installing redundant RoS
+	// tags along the road"); 0 disables it.
+	RedundantTagOffset float64
+	// GroundMultipath adds the two-ray road-surface bounce to every path
+	// (bumper-height radar over asphalt).
+	GroundMultipath bool
+	// SecondTagSpreadDeg places a second identical tag at this spread
+	// angle seen from the closest pass point (Fig 16a); 0 disables it.
+	SecondTagSpreadDeg float64
+	// InterfererSeparation enables a second interrogating radar this many
+	// meters away (Fig 16b); 0 disables it.
+	InterfererSeparation float64
+	// FrameBudget caps the number of simulated frames (processing
+	// decimation; the radar's 1 kHz frame rate is far above the Nyquist
+	// need of Eq 9). Default 280.
+	FrameBudget int
+	// Radar overrides the radar configuration (default TI1443).
+	Radar *radar.Config
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Outcome reports one pass.
+type Outcome struct {
+	// Detected tells whether the tag cluster was found and classified.
+	Detected bool
+	// Bits is the decoded bit string (empty when undetected).
+	Bits string
+	// Correct tells whether Bits matches the encoded string.
+	Correct bool
+	// SNRdB is the decoding SNR (Sec 7.1); -Inf when undetected.
+	SNRdB float64
+	// BER is the OOK bit error rate implied by SNRdB.
+	BER float64
+	// MedianRSSdBm is the median decode-mode spotlight RSS of the tag
+	// across the pass (the y axis of Fig 14a/15a).
+	MedianRSSdBm float64
+	// RSSLossDB is the tag's polarization loss feature.
+	RSSLossDB float64
+	// Samples is the number of (u, RSS) samples that reached the decoder.
+	Samples int
+	// Detection carries the full pipeline result for diagnostics.
+	Detection *detect.Result
+	// Decode carries the decoder result (nil when undetected).
+	Decode *coding.Result
+}
+
+// defaults fills zero-valued fields.
+func (d *DriveBy) defaults() {
+	if d.Bits == "" {
+		d.Bits = "1111"
+	}
+	if d.StackModules == 0 {
+		d.StackModules = 32
+	}
+	if d.Standoff == 0 {
+		d.Standoff = 3
+	}
+	if d.HalfSpan == 0 {
+		d.HalfSpan = 1.4 * d.Standoff
+	}
+	if d.Speed == 0 {
+		d.Speed = 2
+	}
+	if d.FrameBudget == 0 {
+		d.FrameBudget = 280
+	}
+}
+
+// buildStack assembles the tag's vertical stack.
+func buildStack(modules int, shaped bool) *stack.Stack {
+	if shaped {
+		return beamshape.Shaped(modules)
+	}
+	return stack.NewUniform(modules)
+}
+
+// Run executes the pass.
+func Run(cfg DriveBy) (*Outcome, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	bits, err := coding.ParseBits(cfg.Bits)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := coding.NewLayout(bits, coding.DefaultDelta())
+	if err != nil {
+		return nil, err
+	}
+	st := buildStack(cfg.StackModules, cfg.BeamShaped)
+	tag, err := scene.NewTag(layout, st, geom.Vec3{})
+	if err != nil {
+		return nil, err
+	}
+	sc := &scene.Scene{
+		Tags:                []*scene.Tag{tag},
+		Fog:                 cfg.Fog,
+		RainMMPerHour:       cfg.RainMMPerHour,
+		DisablePolSwitching: cfg.DisablePolSwitching,
+	}
+	if cfg.GroundMultipath {
+		sc.Ground = scene.DefaultGround()
+	}
+	if cfg.BlockerHalfLength > 0 {
+		sc.Blockers = append(sc.Blockers, scene.Blocker{
+			X0:  -cfg.BlockerHalfLength,
+			X1:  cfg.BlockerHalfLength,
+			Y:   cfg.Standoff / 2,
+			Top: 1.5, // a sedan-height slab relative to the radar plane
+		})
+	}
+
+	if cfg.SecondTagSpreadDeg > 0 {
+		off := cfg.Standoff * math.Tan(geom.Rad(cfg.SecondTagSpreadDeg))
+		tag2, err := scene.NewTag(layout, st, geom.Vec3{X: off})
+		if err != nil {
+			return nil, err
+		}
+		sc.Tags = append(sc.Tags, tag2)
+	}
+	if cfg.RedundantTagOffset > 0 {
+		spare, err := scene.NewTag(layout, st, geom.Vec3{X: cfg.RedundantTagOffset})
+		if err != nil {
+			return nil, err
+		}
+		sc.Tags = append(sc.Tags, spare)
+	}
+	if cfg.WithClutter {
+		sc.Clutter = append(sc.Clutter,
+			scene.NewObject(scene.ClassParkingMeter, geom.Vec3{X: -1.5, Y: -0.3}, rng),
+			scene.NewObject(scene.ClassStreetLamp, geom.Vec3{X: 1.8, Y: -0.4}, rng),
+			scene.NewObject(scene.ClassTree, geom.Vec3{X: 3.0, Y: -0.8}, rng),
+		)
+	}
+
+	rcfg := radar.TI1443()
+	if cfg.Radar != nil {
+		rcfg = *cfg.Radar
+	}
+	if cfg.InterfererSeparation > 0 {
+		// A second radar interrogating the same tag raises the victim's
+		// noise floor; retroreflection (Fig 4b) and the angular
+		// transience of specular cross-paths (Sec 7.3) keep the raise
+		// small and falling with separation.
+		rcfg.FrontEnd.NoiseFigureDB += 2.5 / cfg.InterfererSeparation
+	}
+
+	// Trajectory: decimate the radar's native frame rate to the budget.
+	totalDist := 2 * cfg.HalfSpan
+	nativeFrames := int(totalDist / cfg.Speed * rcfg.FrameRate)
+	frames := cfg.FrameBudget
+	if nativeFrames < frames {
+		frames = nativeFrames
+	}
+	if frames < 32 {
+		return nil, fmt.Errorf("sim: only %d frames over the pass; slow down or extend the span", frames)
+	}
+	truth := make([]geom.Vec3, frames)
+	for i := range truth {
+		x := -cfg.HalfSpan + totalDist*float64(i)/float64(frames-1)
+		truth[i] = geom.Vec3{X: x, Y: cfg.Standoff, Z: cfg.HeightOffset}
+	}
+	// Speed-dependent platform vibration (Sec 7.3 attributes the SNR
+	// variation at driving speeds to the more dynamic condition).
+	if cfg.Speed > 3 {
+		jitter := 0.0005 * cfg.Speed // ~7 mm at 30 mph
+		for i := range truth {
+			truth[i].Z += rng.NormFloat64() * jitter
+			truth[i].Y += rng.NormFloat64() * jitter * 0.5
+		}
+	}
+
+	est := truth
+	if cfg.TrackingError > 0 {
+		est, err = track.Tracker{RelativeError: cfg.TrackingError}.Estimate(truth, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	p := detect.NewPipeline(rcfg)
+	if cfg.Standoff > 3 {
+		// Cross-range blur grows linearly with range (r * angular error);
+		// scale the point-cloud size threshold to match.
+		p.TagMaxExtent *= cfg.Standoff / 3
+	}
+	if cfg.FoVDeg > 0 {
+		p.DecodeAzimuthCapDeg = cfg.FoVDeg / 2
+	}
+	if cfg.SecondTagSpreadDeg > 0 {
+		// The two-tag micro-benchmark (Fig 16a) places tags at known
+		// positions; decode the first tag even when the two clouds fuse.
+		p.ForceTagNear = &geom.Vec2{}
+	}
+	vel := geom.Vec3{X: cfg.Speed}
+	res, err := p.Run(sc, truth, est, vel, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Detection: res, SNRdB: math.Inf(-1), BER: 0.5, MedianRSSdBm: math.Inf(-1)}
+	if res.TagIndex < 0 || len(res.TagU) < 16 {
+		return out, nil
+	}
+	out.Detected = true
+	out.RSSLossDB = res.Objects[res.TagIndex].RSSLossDB
+	out.Samples = len(res.TagU)
+
+	// Median decode-mode RSS: TagRSS is d^4-compensated for decoding, so
+	// undo the compensation with the per-sample ranges to report the raw
+	// received power of Fig 14a/15a.
+	var rssDBm []float64
+	for i, r := range res.TagRange {
+		if r > 0 {
+			rssDBm = append(rssDBm, em.DBm(res.TagRSS[i]/(r*r*r*r)))
+		}
+	}
+	out.MedianRSSdBm = dsp.Median(rssDBm)
+
+	dec, err := coding.NewDecoder(len(bits), layout.Delta, rcfg.Wavelength())
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := dec.Decode(res.TagU, res.TagRSS)
+	if err != nil {
+		return out, nil // detected but undecodable: report as such
+	}
+	out.Decode = decoded
+	out.Bits = coding.BitsString(decoded.Bits)
+	out.Correct = out.Bits == cfg.Bits
+	out.SNRdB = decoded.SNRdB
+	out.BER = decoded.BER
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBaselinePassDecodes(t *testing.T) {
+	out, err := Run(DriveBy{Bits: "1111", BeamShaped: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatal("tag not detected in the baseline pass")
+	}
+	if !out.Correct {
+		t.Fatalf("decoded %q, want 1111 (SNR %g dB)", out.Bits, out.SNRdB)
+	}
+	// Sec 7.2: decoding SNR consistently exceeds 14 dB in typical
+	// scenarios.
+	if out.SNRdB < 14 {
+		t.Errorf("baseline SNR = %g dB, want > 14", out.SNRdB)
+	}
+	if out.BER > 0.006 {
+		t.Errorf("baseline BER = %g, want <= 0.6%%", out.BER)
+	}
+}
+
+func TestMixedBitsPass(t *testing.T) {
+	for _, bits := range []string{"1010", "1001"} {
+		out, err := Run(DriveBy{Bits: bits, BeamShaped: true, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Detected || out.Bits != bits {
+			t.Errorf("bits %s: detected=%v decoded=%q SNR=%g", bits, out.Detected, out.Bits, out.SNRdB)
+		}
+	}
+}
+
+func TestClutterDoesNotBreakDecoding(t *testing.T) {
+	out, err := Run(DriveBy{Bits: "1111", BeamShaped: true, WithClutter: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected || !out.Correct {
+		t.Fatalf("with clutter: detected=%v decoded=%q", out.Detected, out.Bits)
+	}
+	if out.SNRdB < 12 {
+		t.Errorf("SNR with clutter = %g dB", out.SNRdB)
+	}
+}
+
+func TestBeamShapingHelpsAtElevationOffset(t *testing.T) {
+	// Fig 14: at ~3-4 deg of elevation misalignment the shaped tag keeps
+	// its SNR while the unshaped baseline collapses.
+	el := 3.5 * math.Pi / 180
+	h := 3 * math.Tan(el)
+	shaped, err := Run(DriveBy{BeamShaped: true, HeightOffset: h, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Run(DriveBy{BeamShaped: false, HeightOffset: h, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shaped.Detected {
+		t.Fatal("shaped tag lost at 3.5 deg elevation offset")
+	}
+	if shaped.SNRdB < 12 {
+		t.Errorf("shaped SNR at offset = %g dB, want > 12", shaped.SNRdB)
+	}
+	if baseline.Detected && baseline.SNRdB > shaped.SNRdB {
+		t.Errorf("baseline (%g dB) beat shaped (%g dB) at elevation offset", baseline.SNRdB, shaped.SNRdB)
+	}
+}
+
+func TestRSSFallsWithDistance(t *testing.T) {
+	// Fig 15a: the received RSS follows the d^-4 law.
+	var prev = math.Inf(1)
+	for _, d := range []float64{2, 3, 4} {
+		out, err := Run(DriveBy{BeamShaped: true, Standoff: d, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Detected {
+			t.Fatalf("tag lost at %g m", d)
+		}
+		if out.MedianRSSdBm >= prev {
+			t.Errorf("RSS did not fall from %g to %g m", prev, out.MedianRSSdBm)
+		}
+		prev = out.MedianRSSdBm
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := DriveBy{}
+	d.defaults()
+	if d.Bits != "1111" || d.StackModules != 32 || d.Standoff != 3 || d.Speed != 2 {
+		t.Errorf("defaults = %+v", d)
+	}
+	if math.Abs(d.HalfSpan-4.2) > 1e-9 {
+		t.Errorf("half span default = %g", d.HalfSpan)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(DriveBy{Bits: "10x"}); err == nil {
+		t.Error("invalid bits accepted")
+	}
+	if _, err := Run(DriveBy{Speed: 500}); err == nil {
+		t.Error("too-fast pass (too few frames) accepted")
+	}
+}
+
+func TestDeterministicOutcome(t *testing.T) {
+	a, err := Run(DriveBy{BeamShaped: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DriveBy{BeamShaped: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SNRdB != b.SNRdB || a.Bits != b.Bits || a.MedianRSSdBm != b.MedianRSSdBm {
+		t.Errorf("same seed, different outcomes: %+v vs %+v", a, b)
+	}
+}
+
+func TestFoVTruncationDegrades(t *testing.T) {
+	// Fig 17's mechanism at the sim level: a 20-degree view cannot resolve
+	// the coding peaks as well as the full view.
+	narrow, err := Run(DriveBy{BeamShaped: true, FoVDeg: 20, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Run(DriveBy{BeamShaped: true, FoVDeg: 100, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !narrow.Detected || !wide.Detected {
+		t.Fatal("detection failed")
+	}
+	if narrow.SNRdB >= wide.SNRdB {
+		t.Errorf("narrow FoV SNR %g >= wide %g", narrow.SNRdB, wide.SNRdB)
+	}
+}
+
+func TestSecondTagStillDecodes(t *testing.T) {
+	out, err := Run(DriveBy{BeamShaped: true, SecondTagSpreadDeg: 25, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected || !out.Correct {
+		t.Errorf("two-tag scene: detected=%v bits=%q", out.Detected, out.Bits)
+	}
+}
+
+func TestInterfererCostsALittle(t *testing.T) {
+	clean, err := Run(DriveBy{BeamShaped: true, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jammed, err := Run(DriveBy{BeamShaped: true, InterfererSeparation: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jammed.Detected {
+		t.Fatal("interferer broke detection entirely")
+	}
+	// The paper reports only slight degradation; allow a few dB either way
+	// but not a collapse.
+	if jammed.SNRdB < clean.SNRdB-8 {
+		t.Errorf("interferer cost %g dB", clean.SNRdB-jammed.SNRdB)
+	}
+}
+
+func TestFullBlockageLosesTag(t *testing.T) {
+	out, err := Run(DriveBy{BeamShaped: true, BlockerHalfLength: 6, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Detected {
+		t.Error("fully blocked tag still detected (Sec 7.3 says it must fail)")
+	}
+}
+
+func TestRedundantTagSurvivesBlockage(t *testing.T) {
+	out, err := Run(DriveBy{
+		BeamShaped: true, BlockerHalfLength: 6, RedundantTagOffset: 8,
+		HalfSpan: 12, FrameBudget: 520, Seed: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected || !out.Correct {
+		t.Errorf("redundant tag did not rescue the read: detected=%v bits=%q", out.Detected, out.Bits)
+	}
+}
+
+func TestGroundMultipathUsuallySurvives(t *testing.T) {
+	out, err := Run(DriveBy{BeamShaped: true, GroundMultipath: true, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected || !out.Correct {
+		t.Errorf("ground bounce broke the read: detected=%v bits=%q", out.Detected, out.Bits)
+	}
+}

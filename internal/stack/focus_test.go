@@ -1,0 +1,78 @@
+package stack
+
+import (
+	"math"
+	"testing"
+
+	"ros/internal/em"
+)
+
+func TestNewFocusedErrors(t *testing.T) {
+	if _, err := NewFocused(0, 3, fc); err == nil {
+		t.Error("zero modules accepted")
+	}
+	if _, err := NewFocused(8, 0, fc); err == nil {
+		t.Error("zero focal distance accepted")
+	}
+	if _, err := NewFocused(8, 3, 0); err == nil {
+		t.Error("zero frequency accepted")
+	}
+}
+
+func TestFocusedReachesFullGainAtFocus(t *testing.T) {
+	// A 64-module stack (Fraunhofer bound ~16 m) focused at 3 m recovers
+	// the full N^2 coherent gain there, while the uniform stack defocuses.
+	n := 64
+	focused, err := NewFocused(n, 3, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := NewUniform(n)
+	want := float64(n * n)
+	gF := focused.NearFieldBoresightGain(3, fc)
+	gU := uniform.NearFieldBoresightGain(3, fc)
+	if gF < 0.95*want {
+		t.Errorf("focused gain at focus = %g, want ~%g", gF, want)
+	}
+	if gU > 0.6*want {
+		t.Errorf("uniform gain at 3 m = %g, expected strong defocus (bound %g)", gU, want)
+	}
+	// Sec 8's claim: higher RCS from larger stacks inside the near field.
+	if em.DB(gF/gU) < 3 {
+		t.Errorf("focusing gain = %g dB, want > 3", em.DB(gF/gU))
+	}
+}
+
+func TestFocusedTradesFarFieldForNearField(t *testing.T) {
+	// Far away, the uniform stack out-gains the near-focused one.
+	n := 64
+	focused, err := NewFocused(n, 3, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := NewUniform(n)
+	far := 100.0
+	if focused.NearFieldBoresightGain(far, fc) >= uniform.NearFieldBoresightGain(far, fc) {
+		t.Error("near-focused stack should not beat uniform in the far field")
+	}
+}
+
+func TestUniformNearFieldConvergesToFarField(t *testing.T) {
+	// Beyond the Fraunhofer distance the exact gain approaches N^2.
+	n := 16
+	s := NewUniform(n)
+	ff := s.FarFieldDistance(fc)
+	g := s.NearFieldBoresightGain(4*ff, fc)
+	if math.Abs(g-float64(n*n))/float64(n*n) > 0.05 {
+		t.Errorf("gain at 4x far field = %g, want ~%d", g, n*n)
+	}
+}
+
+func TestNearFieldGainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive distance accepted")
+		}
+	}()
+	NewUniform(4).NearFieldBoresightGain(0, fc)
+}

@@ -1,0 +1,65 @@
+// Package sweep runs independent simulation points concurrently: the
+// evaluation figures are parameter sweeps over drive-by runs that share
+// nothing, so a small worker pool cuts the wall-clock of cmd/rosbench and
+// the benchmark suite by the core count.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Run evaluates fn for every index 0..n-1 on a worker pool and returns the
+// results in order. A worker count of 0 uses GOMAXPROCS. The first error
+// cancels nothing (remaining points still run) but is returned.
+func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative point count %d", n)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil point function")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, nil
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Map evaluates fn over the inputs concurrently, preserving order.
+func Map[In, Out any](inputs []In, workers int, fn func(In) (Out, error)) ([]Out, error) {
+	return Run(len(inputs), workers, func(i int) (Out, error) {
+		return fn(inputs[i])
+	})
+}

@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPreservesOrder(t *testing.T) {
+	out, err := Run(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunActuallyConcurrent(t *testing.T) {
+	// Each task waits (bounded) until it observes a second in-flight task,
+	// which can only happen if the pool really runs them concurrently.
+	var peak, cur atomic.Int32
+	_, err := Run(16, 8, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		for spin := 0; spin < 1_000_000 && cur.Load() < 2 && peak.Load() < 2; spin++ {
+			runtime.Gosched()
+		}
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Errorf("peak concurrency = %d, want >= 2", peak.Load())
+	}
+}
+
+func TestRunReportsError(t *testing.T) {
+	wantErr := errors.New("boom")
+	out, err := Run(10, 4, func(i int) (int, error) {
+		if i == 7 {
+			return 0, wantErr
+		}
+		return i, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v", err)
+	}
+	// Other points still computed.
+	if out[3] != 3 {
+		t.Errorf("out[3] = %d", out[3])
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	if _, err := Run(-1, 2, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := Run[int](3, 2, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+	out, err := Run(0, 2, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty run: %v, %v", out, err)
+	}
+	// Default worker count.
+	out, err = Run(5, 0, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 5 {
+		t.Errorf("default workers: %v, %v", out, err)
+	}
+}
+
+func TestMap(t *testing.T) {
+	in := []string{"a", "bb", "ccc"}
+	out, err := Map(in, 2, func(s string) (int, error) { return len(s), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out) != "[1 2 3]" {
+		t.Errorf("out = %v", out)
+	}
+}

@@ -1,0 +1,102 @@
+// Package trace saves and loads RCS captures: the (u, RSS) sample series a
+// drive-by produces, plus the code parameters needed to decode them later.
+// Captures let users archive reads, regression-test decoders against
+// recorded data, and decode offline with cmd/rosdecode — the workflow a real
+// deployment would use with radar logs.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Capture is one recorded tag read.
+type Capture struct {
+	// Version identifies the capture format.
+	Version int `json:"version"`
+	// Bits is the coding slot count of the tag being read.
+	Bits int `json:"bits"`
+	// DeltaMeters is the code's unit spacing delta_c.
+	DeltaMeters float64 `json:"delta_m"`
+	// LambdaMeters is the radar wavelength.
+	LambdaMeters float64 `json:"lambda_m"`
+	// U holds the observation coordinates cos(theta) per sample.
+	U []float64 `json:"u"`
+	// RSS holds the path-loss-compensated reflected strengths per sample.
+	RSS []float64 `json:"rss"`
+	// Range optionally holds the radar-to-tag distance per sample.
+	Range []float64 `json:"range_m,omitempty"`
+	// Note is a free-form annotation (scenario, date, vehicle).
+	Note string `json:"note,omitempty"`
+}
+
+// CurrentVersion is the capture format written by this package.
+const CurrentVersion = 1
+
+// Validate reports whether the capture is decodable.
+func (c *Capture) Validate() error {
+	switch {
+	case c.Version != CurrentVersion:
+		return fmt.Errorf("trace: unsupported capture version %d", c.Version)
+	case c.Bits < 1:
+		return fmt.Errorf("trace: capture needs at least 1 coding slot, got %d", c.Bits)
+	case c.DeltaMeters <= 0:
+		return fmt.Errorf("trace: non-positive unit spacing %g", c.DeltaMeters)
+	case c.LambdaMeters <= 0:
+		return fmt.Errorf("trace: non-positive wavelength %g", c.LambdaMeters)
+	case len(c.U) != len(c.RSS):
+		return fmt.Errorf("trace: %d u samples vs %d rss samples", len(c.U), len(c.RSS))
+	case len(c.U) < 8:
+		return fmt.Errorf("trace: too few samples (%d)", len(c.U))
+	case len(c.Range) != 0 && len(c.Range) != len(c.U):
+		return fmt.Errorf("trace: %d range samples vs %d u samples", len(c.Range), len(c.U))
+	}
+	return nil
+}
+
+// Write serializes the capture as indented JSON.
+func (c *Capture) Write(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(c)
+}
+
+// Read parses and validates a capture.
+func Read(r io.Reader) (*Capture, error) {
+	var c Capture
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Save writes the capture to a file.
+func Save(path string, c *Capture) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := c.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a capture from a file.
+func Load(path string) (*Capture, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,160 @@
+package txline
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"ros/internal/em"
+)
+
+func TestDefaultGuidedWavelength(t *testing.T) {
+	s := Default()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Sec 4.2: lambda_g = 2027 um at 79 GHz.
+	lg := s.GuidedWavelength(em.CenterFrequency)
+	if math.Abs(lg-2027e-6) > 1e-9 {
+		t.Errorf("lambda_g(79 GHz) = %g m, want 2027 um", lg)
+	}
+	// Implied eps_eff should be near the Rogers 4350B/4450F mix (~3.5).
+	if s.EpsEff < 3.3 || s.EpsEff > 3.7 {
+		t.Errorf("eps_eff = %g, want ~3.5", s.EpsEff)
+	}
+}
+
+func TestLossCalibration(t *testing.T) {
+	// Sec 4.3: a 10.8 cm line loses ~11 dB.
+	s := Default()
+	if got := s.LossDB(0.108, em.CenterFrequency); math.Abs(got-11) > 1e-9 {
+		t.Errorf("loss(10.8 cm) = %g dB, want 11", got)
+	}
+	// Loss scales with frequency.
+	if s.LossDB(0.01, 81e9) <= s.LossDB(0.01, 76e9) {
+		t.Error("loss should increase with frequency")
+	}
+	if s.LossDB(0, em.CenterFrequency) != 0 {
+		t.Error("zero-length line should be lossless")
+	}
+}
+
+func TestPhaseLinearInLengthAndFrequency(t *testing.T) {
+	s := Default()
+	f := em.CenterFrequency
+	lg := s.GuidedWavelength(f)
+	// One guided wavelength of line = 2*pi of phase.
+	if got := s.Phase(lg, f); math.Abs(got-2*math.Pi) > 1e-9 {
+		t.Errorf("phase over one lambda_g = %g, want 2*pi", got)
+	}
+	if got := s.Phase(2.5*lg, f); math.Abs(got-5*math.Pi) > 1e-9 {
+		t.Errorf("phase over 2.5 lambda_g = %g, want 5*pi", got)
+	}
+}
+
+func TestThroughCombinesLossAndPhase(t *testing.T) {
+	s := Default()
+	f := em.CenterFrequency
+	l := 0.01
+	tr := s.Through(l, f)
+	if math.Abs(cmplx.Abs(tr)-s.Amplitude(l, f)) > 1e-12 {
+		t.Errorf("|through| = %g, want %g", cmplx.Abs(tr), s.Amplitude(l, f))
+	}
+	wantPhase := -s.Phase(l, f)
+	gotPhase := cmplx.Phase(tr)
+	// Compare modulo 2*pi.
+	diff := math.Mod(gotPhase-wantPhase, 2*math.Pi)
+	if diff > math.Pi {
+		diff -= 2 * math.Pi
+	}
+	if diff < -math.Pi {
+		diff += 2 * math.Pi
+	}
+	if math.Abs(diff) > 1e-9 {
+		t.Errorf("through phase = %g, want %g (mod 2pi)", gotPhase, wantPhase)
+	}
+}
+
+func TestMaxLengthDifferenceMatchesPaper(t *testing.T) {
+	// Sec 4.1: for B = 4 GHz, delta_l <= 4.94 lambda_g.
+	s := Default()
+	dl := s.MaxLengthDifference(4e9)
+	inLG := dl / s.GuidedWavelength(em.CenterFrequency)
+	if math.Abs(inLG-4.94) > 0.05 {
+		t.Errorf("delta_l bound = %g lambda_g, want ~4.94", inLG)
+	}
+}
+
+func TestMaxAntennaPairsMatchesPaper(t *testing.T) {
+	// Sec 4.1: with deltaL = 2 lambda_g and B = 4 GHz, the optimal number
+	// of antenna pairs is floor(4.94/2) + 1 = 3.
+	s := Default()
+	lg := s.GuidedWavelength(em.CenterFrequency)
+	if got := s.MaxAntennaPairs(4e9, 2*lg); got != 3 {
+		t.Errorf("max pairs = %d, want 3", got)
+	}
+}
+
+func TestPaperTLLengthsRelations(t *testing.T) {
+	// Fig 7b: the 2nd and 3rd TLs are ~2.5 and ~4 lambda_g longer than the
+	// 1st.
+	ls := PaperTLLengths()
+	lg := GuidedWavelength79
+	d2 := (ls[1] - ls[0]) / lg
+	d3 := (ls[2] - ls[0]) / lg
+	if math.Abs(d2-2.5) > 0.05 {
+		t.Errorf("TL2 - TL1 = %g lambda_g, want ~2.5", d2)
+	}
+	if math.Abs(d3-4) > 0.05 {
+		t.Errorf("TL3 - TL1 = %g lambda_g, want ~4", d3)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Stripline{EpsEff: 0.5, LossDBPerMeterAt79: 1}).Validate(); err == nil {
+		t.Error("eps_eff < 1 accepted")
+	}
+	if err := (Stripline{EpsEff: 3, LossDBPerMeterAt79: -1}).Validate(); err == nil {
+		t.Error("negative loss accepted")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := Default()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("GuidedWavelength(0)", func() { s.GuidedWavelength(0) })
+	mustPanic("LossDB(-1)", func() { s.LossDB(-1, em.CenterFrequency) })
+	mustPanic("MaxLengthDifference(0)", func() { s.MaxLengthDifference(0) })
+	mustPanic("MaxAntennaPairs deltaL=0", func() { s.MaxAntennaPairs(4e9, 0) })
+}
+
+func TestDispersionMisalignment(t *testing.T) {
+	// Two lines differing by 4 lambda_g are phase-aligned at 79 GHz but
+	// misaligned at the band edges; the misalignment at +/-2 GHz should be
+	// 2*pi*deltaL*B/2/c_p < pi/2 for deltaL <= 4.94 lambda_g.
+	s := Default()
+	lg := s.GuidedWavelength(em.CenterFrequency)
+	deltaL := 4 * lg
+	phi0 := s.Phase(deltaL, em.CenterFrequency)
+	// At center, the differential phase is an exact multiple of 2*pi.
+	if r := math.Mod(phi0, 2*math.Pi); math.Abs(r) > 1e-6 && math.Abs(r-2*math.Pi) > 1e-6 {
+		t.Errorf("differential phase at center = %g rad (mod 2pi), want 0", r)
+	}
+	// Worst-case misalignment is between the two band edges fc +/- B/2.
+	mis := math.Abs(s.Phase(deltaL, em.CenterFrequency+2e9) - s.Phase(deltaL, em.CenterFrequency-2e9))
+	if mis >= math.Pi/2 {
+		t.Errorf("misalignment across the band = %g rad, want < pi/2 for 4 lambda_g", mis)
+	}
+	// And 6 lambda_g (a 4-pair design) violates the bound.
+	phi6 := math.Abs(s.Phase(6*lg, em.CenterFrequency+2e9) - s.Phase(6*lg, em.CenterFrequency-2e9))
+	if phi6 < math.Pi/2 {
+		t.Errorf("6 lambda_g misalignment = %g rad, expected >= pi/2", phi6)
+	}
+}

@@ -1,0 +1,187 @@
+// Package viz renders small ASCII visualizations for the command-line
+// tools: line plots for RSS-vs-u curves, bar spectra for RCS frequency
+// spectra, and scatter maps for merged radar point clouds (the terminal
+// version of the paper's Fig 11 panels).
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Line renders a y-series as a fixed-height ASCII line plot with axis
+// labels. Width is the number of columns used for data (the series is
+// resampled by max-pooling); height the number of rows.
+func Line(title string, ys []float64, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 3 {
+		height = 3
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(ys) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	cols := pool(ys, width)
+	lo, hi := bounds(cols)
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c, v := range cols {
+		if math.IsInf(v, -1) || math.IsNaN(v) {
+			continue
+		}
+		r := int((hi - v) / (hi - lo) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		grid[r][c] = '*'
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", lo)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	return b.String()
+}
+
+// Bars renders labeled magnitudes as horizontal bars normalized to the
+// largest value.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width < 4 {
+		width = 4
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(labels) != len(values) || len(values) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	peak := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v > peak {
+			peak = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if peak <= 0 {
+		peak = 1
+	}
+	for i, v := range values {
+		n := int(v / peak * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "  %-*s |%s\n", labelW, labels[i], strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// Point is one scatter-map sample.
+type Point struct {
+	X, Y float64
+	// Mark is the glyph drawn ('*' when zero).
+	Mark byte
+}
+
+// Scatter renders points into a width x height character map spanning the
+// given world rectangle, with later points overdrawing earlier ones.
+func Scatter(title string, pts []Point, x0, x1, y0, y1 float64, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if x1 <= x0 || y1 <= y0 {
+		b.WriteString("  (degenerate extent)\n")
+		return b.String()
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", width))
+	}
+	for _, p := range pts {
+		if p.X < x0 || p.X > x1 || p.Y < y0 || p.Y > y1 {
+			continue
+		}
+		c := int((p.X - x0) / (x1 - x0) * float64(width-1))
+		r := int((y1 - p.Y) / (y1 - y0) * float64(height-1))
+		mark := p.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		grid[r][c] = mark
+	}
+	fmt.Fprintf(&b, "  y=%-6.1f %s\n", y1, strings.Repeat("_", width))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "           %s\n", string(row))
+	}
+	fmt.Fprintf(&b, "  y=%-6.1f x: %.1f .. %.1f\n", y0, x0, x1)
+	return b.String()
+}
+
+// pool max-pools a series into the target number of columns.
+func pool(ys []float64, cols int) []float64 {
+	out := make([]float64, cols)
+	for c := range out {
+		lo := c * len(ys) / cols
+		hi := (c + 1) * len(ys) / cols
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(ys) {
+			hi = len(ys)
+		}
+		best := math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			if ys[i] > best {
+				best = ys[i]
+			}
+		}
+		out[c] = best
+	}
+	return out
+}
+
+// bounds returns the finite min and max of a series.
+func bounds(ys []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range ys {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	return
+}

@@ -1,0 +1,123 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	ys := make([]float64, 100)
+	for i := range ys {
+		ys[i] = math.Sin(float64(i) / 10)
+	}
+	out := Line("sine", ys, 40, 8)
+	if !strings.Contains(out, "sine") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data points drawn")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + height rows + axis.
+	if len(lines) != 1+8+1 {
+		t.Errorf("got %d lines, want 10", len(lines))
+	}
+	// Max and min labels present.
+	if !strings.Contains(out, "1.0") || !strings.Contains(out, "-1.0") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestLineDegenerate(t *testing.T) {
+	if out := Line("empty", nil, 20, 5); !strings.Contains(out, "no data") {
+		t.Error("empty series not flagged")
+	}
+	// A flat series must not divide by zero.
+	out := Line("flat", []float64{2, 2, 2, 2}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Error("flat series not drawn")
+	}
+	// NaN and -Inf values are skipped, not drawn.
+	out = Line("gappy", []float64{1, math.NaN(), math.Inf(-1), 2}, 8, 3)
+	if !strings.Contains(out, "*") {
+		t.Error("finite values not drawn")
+	}
+}
+
+func TestLineClampsTinyDimensions(t *testing.T) {
+	out := Line("tiny", []float64{1, 2}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("spectrum", []string{"6.0", "7.5"}, []float64{1, 0.5}, 10)
+	if !strings.Contains(out, "6.0") || !strings.Contains(out, "7.5") {
+		t.Error("labels missing")
+	}
+	// Full-scale bar has 10 hashes, half-scale 5.
+	if !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Error("full-scale bar wrong")
+	}
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.Contains(l, "7.5") && !strings.Contains(l, "#####") {
+			t.Errorf("half-scale bar wrong: %q", l)
+		}
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	if out := Bars("x", []string{"a"}, nil, 10); !strings.Contains(out, "no data") {
+		t.Error("mismatched input not flagged")
+	}
+	out := Bars("zeros", []string{"a"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Error("zero value drew a bar")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0, Mark: 'T'},
+		{X: 1, Y: 0},
+		{X: 99, Y: 99}, // outside extent, dropped
+	}
+	out := Scatter("cloud", pts, -2, 2, -1, 1, 20, 6)
+	if !strings.Contains(out, "T") {
+		t.Error("marked point missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("default-mark point missing")
+	}
+	if strings.Count(out, "T") != 1 {
+		t.Error("mark drawn more than once")
+	}
+}
+
+func TestScatterDegenerateExtent(t *testing.T) {
+	if out := Scatter("bad", nil, 1, 1, 0, 1, 10, 5); !strings.Contains(out, "degenerate") {
+		t.Error("degenerate extent not flagged")
+	}
+}
+
+func TestPoolCoversAllSamples(t *testing.T) {
+	// The max of the pooled series equals the max of the input.
+	ys := make([]float64, 1000)
+	for i := range ys {
+		ys[i] = float64(i % 97)
+	}
+	ys[503] = 1e6
+	cols := pool(ys, 37)
+	found := false
+	for _, v := range cols {
+		if v == 1e6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("max-pooling lost the peak")
+	}
+}

@@ -1,0 +1,156 @@
+package ros
+
+import (
+	"fmt"
+
+	"ros/internal/em"
+	"ros/internal/radar"
+	"ros/internal/sim"
+	"ros/internal/trace"
+)
+
+// Reader is a vehicle-mounted radar configuration for reading tags.
+type Reader struct {
+	radar radar.Config
+}
+
+// ReaderOption customizes NewReader.
+type ReaderOption func(*Reader)
+
+// WithCommercialFrontEnd swaps the TI evaluation front end for the
+// commercial automotive radar of Sec 8 (NF 9 dB, EIRP 50 dBm), extending the
+// reading range from ~7 m to ~52 m.
+func WithCommercialFrontEnd() ReaderOption {
+	return func(r *Reader) {
+		r.radar.FrontEnd = em.CommercialRadar()
+	}
+}
+
+// WithFrameRate overrides the radar frame repetition rate in Hz.
+func WithFrameRate(hz float64) ReaderOption {
+	return func(r *Reader) {
+		r.radar.FrameRate = hz
+	}
+}
+
+// NewReader builds a reader around the paper's TI IWR1443 configuration.
+func NewReader(opts ...ReaderOption) *Reader {
+	r := &Reader{radar: radar.TI1443()}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// MaxRange returns the link-budget reading range in meters for the paper's
+// 32-module tag (Sec 5.3).
+func (r *Reader) MaxRange() float64 {
+	return r.radar.FrontEnd.MaxRange(em.TagRCS32StackDBsm, r.radar.CenterFrequency)
+}
+
+// ReadOptions configures one simulated drive-by read.
+type ReadOptions struct {
+	// Standoff is the closest radar-to-tag distance in meters (default 3).
+	Standoff float64
+	// SpeedMPS is the vehicle speed in m/s (default 2, a slow cart).
+	SpeedMPS float64
+	// HeightOffset is the radar-vs-tag-center height mismatch in meters.
+	HeightOffset float64
+	// Fog selects the weather (FogClear, FogLight, FogHeavy).
+	Fog FogLevel
+	// TrackingError is the vehicle's relative self-tracking drift
+	// (e.g. 0.02 for 2 percent).
+	TrackingError float64
+	// WithClutter surrounds the tag with typical roadside objects.
+	WithClutter bool
+	// Seed drives all randomness; equal seeds reproduce reads exactly.
+	Seed int64
+}
+
+// FogLevel re-exports the weather conditions of Fig 16c.
+type FogLevel = em.FogLevel
+
+// Fog levels.
+const (
+	FogClear = em.FogClear
+	FogLight = em.FogLight
+	FogHeavy = em.FogHeavy
+)
+
+// Reading is the outcome of one drive-by.
+type Reading struct {
+	// Detected tells whether the tag was found and classified among the
+	// roadside objects.
+	Detected bool
+	// Bits is the decoded bit string.
+	Bits string
+	// SNRdB is the decoding SNR of Sec 7.1.
+	SNRdB float64
+	// BER is the implied on-off-keying bit error rate.
+	BER float64
+	// RSSLossDB is the tag's polarization-loss feature (Fig 13a).
+	RSSLossDB float64
+	// MedianRSSdBm is the tag's median received signal strength.
+	MedianRSSdBm float64
+
+	// capture holds the raw (u, RSS) samples backing the read, for
+	// SaveCapture.
+	capture *trace.Capture
+}
+
+// SaveCapture archives the read's raw RCS samples as JSON, decodable later
+// with cmd/rosdecode or Decode. It fails when the read detected no tag.
+func (r *Reading) SaveCapture(path, note string) error {
+	if r.capture == nil {
+		return fmt.Errorf("ros: reading has no capture (tag not detected)")
+	}
+	c := *r.capture
+	c.Note = note
+	return trace.Save(path, &c)
+}
+
+// Read simulates a drive-by past the tag and decodes it end to end: FMCW
+// frame synthesis, point-cloud detection, clustering, polarization
+// classification, RCS sampling, and spectral decoding.
+func (r *Reader) Read(t *Tag, opts ReadOptions) (*Reading, error) {
+	if t == nil {
+		return nil, fmt.Errorf("ros: nil tag")
+	}
+	cfg := sim.DriveBy{
+		Bits:          t.bits,
+		StackModules:  t.modules,
+		BeamShaped:    t.shaped,
+		Standoff:      opts.Standoff,
+		Speed:         opts.SpeedMPS,
+		HeightOffset:  opts.HeightOffset,
+		Fog:           opts.Fog,
+		TrackingError: opts.TrackingError,
+		WithClutter:   opts.WithClutter,
+		Seed:          opts.Seed,
+		Radar:         &r.radar,
+	}
+	out, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reading := &Reading{
+		Detected:     out.Detected,
+		Bits:         out.Bits,
+		SNRdB:        out.SNRdB,
+		BER:          out.BER,
+		RSSLossDB:    out.RSSLossDB,
+		MedianRSSdBm: out.MedianRSSdBm,
+	}
+	if out.Detected && len(out.Detection.TagU) >= 8 {
+		reading.capture = &trace.Capture{
+			Version:      trace.CurrentVersion,
+			Bits:         len(t.bits),
+			DeltaMeters:  t.layout.Delta,
+			LambdaMeters: r.radar.Wavelength(),
+			U:            out.Detection.TagU,
+			RSS:          out.Detection.TagRSS,
+			Range:        out.Detection.TagRange,
+		}
+	}
+	return reading, nil
+}

@@ -1,0 +1,96 @@
+package ros
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ros/internal/em"
+)
+
+// DeploymentCheck is one line of a tag design review.
+type DeploymentCheck struct {
+	// Name identifies the check.
+	Name string
+	// OK reports whether the deployment passes it.
+	OK bool
+	// Detail explains the numbers behind the verdict.
+	Detail string
+}
+
+// Deployment describes where and how a tag will be read.
+type Deployment struct {
+	// Standoff is the closest radar-to-tag distance in meters (e.g. the
+	// lane distance).
+	Standoff float64
+	// MaxSpeedMPS is the fastest vehicle expected to read the tag.
+	MaxSpeedMPS float64
+	// FrameRateHz is the reader's radar frame rate (default 1000).
+	FrameRateHz float64
+	// Commercial selects the Sec 8 commercial front end instead of the TI
+	// evaluation radar for the link budget.
+	Commercial bool
+}
+
+// Review checks a tag design against a deployment, evaluating the paper's
+// three constraints: the far-field bound (Eq 8), the Nyquist speed bound
+// (Eq 9), and the link budget (Sec 5.3). It returns one check per
+// constraint.
+func (t *Tag) Review(d Deployment) ([]DeploymentCheck, error) {
+	if d.Standoff <= 0 {
+		return nil, fmt.Errorf("ros: deployment needs a positive standoff, got %g", d.Standoff)
+	}
+	if d.MaxSpeedMPS <= 0 {
+		return nil, fmt.Errorf("ros: deployment needs a positive speed, got %g", d.MaxSpeedMPS)
+	}
+	if d.FrameRateHz == 0 {
+		d.FrameRateHz = 1000
+	}
+	var checks []DeploymentCheck
+
+	ff := t.FarFieldDistance()
+	checks = append(checks, DeploymentCheck{
+		Name: "far field (Eq 8)",
+		OK:   d.Standoff >= ff,
+		Detail: fmt.Sprintf("standoff %.1f m vs far-field bound %.2f m; inside it the "+
+			"plane-wave decode model distorts", d.Standoff, ff),
+	})
+
+	vMax := t.MaxVehicleSpeed(d.FrameRateHz, d.Standoff)
+	checks = append(checks, DeploymentCheck{
+		Name: "Nyquist speed (Eq 9)",
+		OK:   d.MaxSpeedMPS <= vMax,
+		Detail: fmt.Sprintf("expected %.1f m/s vs bound %.1f m/s at %.0f Hz frames",
+			d.MaxSpeedMPS, vMax, d.FrameRateHz),
+	})
+
+	fe := em.TIRadar()
+	if d.Commercial {
+		fe = em.CommercialRadar()
+	}
+	// Approximate tag RCS: the 32-module reference scaled by the module
+	// count (field amplitude proportional to modules).
+	rcs := em.TagRCS32StackDBsm + 20*math.Log10(float64(t.Modules())/32)
+	maxRange := fe.MaxRange(rcs, em.CenterFrequency)
+	margin := fe.SNRAtRange(rcs, em.CenterFrequency, d.Standoff)
+	checks = append(checks, DeploymentCheck{
+		Name: "link budget (Sec 5.3)",
+		OK:   d.Standoff <= maxRange,
+		Detail: fmt.Sprintf("%s front end reads to %.1f m; margin at %.1f m is %.1f dB",
+			fe.Name, maxRange, d.Standoff, margin),
+	})
+	return checks, nil
+}
+
+// ReviewString renders the checks as a short report.
+func ReviewString(checks []DeploymentCheck) string {
+	var b strings.Builder
+	for _, c := range checks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %-22s %s\n", mark, c.Name, c.Detail)
+	}
+	return b.String()
+}

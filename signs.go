@@ -1,0 +1,54 @@
+package ros
+
+import "ros/internal/signs"
+
+// Sign re-exports the 4-bit road-sign catalog (Fig 1 of the paper gives
+// "1111 = traffic light ahead").
+type Sign = signs.Sign
+
+// The encodable sign catalog.
+const (
+	SignSpeedLimit25      = signs.SignSpeedLimit25
+	SignSpeedLimit35      = signs.SignSpeedLimit35
+	SignSpeedLimit45      = signs.SignSpeedLimit45
+	SignSpeedLimit55      = signs.SignSpeedLimit55
+	SignSpeedLimit65      = signs.SignSpeedLimit65
+	SignStopAhead         = signs.SignStopAhead
+	SignYieldAhead        = signs.SignYieldAhead
+	SignCrosswalkAhead    = signs.SignCrosswalkAhead
+	SignSchoolZone        = signs.SignSchoolZone
+	SignLaneEndsMerge     = signs.SignLaneEndsMerge
+	SignSharpCurve        = signs.SignSharpCurve
+	SignRoadWorkAhead     = signs.SignRoadWorkAhead
+	SignLowClearance      = signs.SignLowClearance
+	SignRailroadCrossing  = signs.SignRailroadCrossing
+	SignTrafficLightAhead = signs.SignTrafficLightAhead
+)
+
+// NewSignTag designs a tag carrying a catalog sign.
+func NewSignTag(s Sign, opts ...TagOption) (*Tag, error) {
+	bits, err := s.Bits()
+	if err != nil {
+		return nil, err
+	}
+	return NewTag(bits, opts...)
+}
+
+// ParseSign recovers the catalog sign from decoded tag bits.
+func ParseSign(bits string) (Sign, error) {
+	return signs.Parse(bits)
+}
+
+// EncodeMessage packs an arbitrary byte message onto 4-bit tags with
+// Hamming(7,4) error protection (two tag pairs per byte); see
+// DecodeMessage.
+func EncodeMessage(data []byte) ([]string, error) {
+	return signs.EncodeMessage(data)
+}
+
+// DecodeMessage reassembles a byte message from decoded tag bit strings,
+// correcting up to one bit error per tag pair. It returns the message and
+// how many bits were corrected.
+func DecodeMessage(tags []string) (data []byte, corrected int, err error) {
+	return signs.DecodeMessage(tags)
+}

@@ -1,0 +1,93 @@
+package ros
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNewSignTag(t *testing.T) {
+	tag, err := NewSignTag(SignTrafficLightAhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag.Bits() != "1111" {
+		t.Errorf("traffic-light tag bits = %q, want 1111 (Fig 1)", tag.Bits())
+	}
+	s, err := ParseSign(tag.Bits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != SignTrafficLightAhead {
+		t.Errorf("parsed %v", s)
+	}
+	if _, err := NewSignTag(Sign(0)); err == nil {
+		t.Error("reserved sign accepted")
+	}
+}
+
+func TestSignCatalogDistinct(t *testing.T) {
+	seen := map[string]Sign{}
+	for s := SignSpeedLimit25; s <= SignTrafficLightAhead; s++ {
+		bits, err := s.Bits()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[bits]; dup {
+			t.Errorf("%v and %v share bits %q", prev, s, bits)
+		}
+		seen[bits] = s
+	}
+	if len(seen) != 15 {
+		t.Errorf("catalog has %d distinct codes, want 15", len(seen))
+	}
+}
+
+func TestMessageRoundTripPublicAPI(t *testing.T) {
+	msg := []byte("school zone")
+	tags, err := EncodeMessage(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, corrected, err := DecodeMessage(tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected != 0 || !bytes.Equal(back, msg) {
+		t.Errorf("round trip: %q, %d corrections", back, corrected)
+	}
+	// Every message tag is a valid NewTag input and is never all-absent.
+	for _, bits := range tags {
+		tag, err := NewTag(bits)
+		if err != nil {
+			t.Fatalf("tag %q rejected: %v", bits, err)
+		}
+		any := false
+		for _, p := range tag.Layout()[1:] {
+			any = any || p.Present
+		}
+		if !any {
+			t.Errorf("tag %q mounts no coding stacks", bits)
+		}
+	}
+}
+
+func TestEndToEndSignRead(t *testing.T) {
+	tag, err := NewSignTag(SignCrosswalkAhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reading, err := NewReader().Read(tag, ReadOptions{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reading.Detected {
+		t.Fatal("sign tag not detected")
+	}
+	s, err := ParseSign(reading.Bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != SignCrosswalkAhead {
+		t.Errorf("read sign %v, want crosswalk ahead", s)
+	}
+}
