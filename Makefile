@@ -1,0 +1,23 @@
+# Developer entry points. CI runs `make ci`; the race detector is part of
+# the gate because the per-frame radar loop runs on a worker pool.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

@@ -1,0 +1,83 @@
+package ros
+
+// Determinism regression tests for the parallel per-frame radar engine:
+// a read's outcome must depend only on ReadOptions.Seed — never on the
+// frame-loop worker count or GOMAXPROCS — because every frame draws its
+// noise from a private sub-stream derived from (seed, frame index).
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// readCapture runs one seeded read and returns the reading plus the saved
+// capture bytes (the raw per-frame samples backing the decode).
+func readCapture(t *testing.T, workers int) (*Reading, []byte) {
+	t.Helper()
+	tag, err := NewTag("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reading, err := NewReader().Read(tag, ReadOptions{Seed: 42, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reading.Detected {
+		t.Fatal("tag not detected")
+	}
+	path := filepath.Join(t.TempDir(), "capture.json")
+	if err := reading.SaveCapture(path, "determinism"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reading, raw
+}
+
+func TestReadIdenticalAcrossWorkerCounts(t *testing.T) {
+	base, baseCapture := readCapture(t, 1)
+	for _, workers := range []int{2, 8} {
+		got, capture := readCapture(t, workers)
+		if got.Bits != base.Bits || got.SNRdB != base.SNRdB ||
+			got.RSSLossDB != base.RSSLossDB || got.MedianRSSdBm != base.MedianRSSdBm {
+			t.Errorf("workers=%d: outcome diverged: bits %q vs %q, SNR %v vs %v",
+				workers, got.Bits, base.Bits, got.SNRdB, base.SNRdB)
+		}
+		if string(capture) != string(baseCapture) {
+			t.Errorf("workers=%d: capture samples not byte-identical", workers)
+		}
+	}
+}
+
+func TestReadIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	base, baseCapture := readCapture(t, 0)
+	runtime.GOMAXPROCS(max(prev, runtime.NumCPU()))
+	defer runtime.GOMAXPROCS(prev)
+	got, capture := readCapture(t, 0)
+	if got.Bits != base.Bits || got.SNRdB != base.SNRdB {
+		t.Errorf("GOMAXPROCS changed the outcome: bits %q vs %q, SNR %v vs %v",
+			got.Bits, base.Bits, got.SNRdB, base.SNRdB)
+	}
+	if string(capture) != string(baseCapture) {
+		t.Error("GOMAXPROCS changed the capture samples")
+	}
+}
+
+func TestReadStatsPopulated(t *testing.T) {
+	reading, _ := readCapture(t, 2)
+	s := reading.Stats
+	if s.Frames == 0 || s.FFTCalls == 0 {
+		t.Errorf("work counters empty: %+v", s)
+	}
+	if s.Workers != 2 {
+		t.Errorf("workers = %d, want 2", s.Workers)
+	}
+	if s.Synthesize <= 0 || s.RangeFFT <= 0 || s.Wall <= 0 {
+		t.Errorf("stage times not recorded: %+v", s)
+	}
+}

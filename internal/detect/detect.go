@@ -5,12 +5,20 @@
 // features of Fig 13 — polarization RSS loss and point-cloud size — then
 // single out the RoS tag among roadside objects, and the tag's per-frame
 // decode-mode RSS over u = cos(theta) feeds the spatial decoder.
+//
+// The per-frame synthesis loop — by far the dominant cost of a drive-by —
+// runs on the sweep worker pool. Every frame draws its randomness from a
+// private rand.Rand seeded with sweep.SubSeed(seed, frame), so a run's
+// output depends only on the seed and is byte-identical at any worker
+// count.
 package detect
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"ros/internal/cluster"
 	"ros/internal/dsp"
@@ -18,6 +26,7 @@ import (
 	"ros/internal/geom"
 	"ros/internal/radar"
 	"ros/internal/scene"
+	"ros/internal/sweep"
 )
 
 // Pipeline holds the detector configuration.
@@ -56,6 +65,9 @@ type Pipeline struct {
 	// within which the tag's RCS is sampled for decoding; default 60, the
 	// radar antenna FoV. Fig 17 sweeps it to truncate the angular view.
 	DecodeAzimuthCapDeg float64
+	// Workers is the worker count for the per-frame synthesis loop; 0 uses
+	// GOMAXPROCS. The output is identical at any worker count.
+	Workers int
 	// Detection options for per-frame point clouds.
 	Detect radar.DetectOptions
 }
@@ -90,6 +102,30 @@ type ObjectReport struct {
 	IsTag bool
 }
 
+// Stats counts the work done by one pipeline run. Per-stage times for the
+// parallel frame loop are summed across workers (CPU time, not wall time);
+// WallNS is the end-to-end wall clock of Run.
+type Stats struct {
+	// Frames is the number of radar frames synthesized (two polarization
+	// modes per pose).
+	Frames int
+	// FFTCalls is the number of fast-time FFTs run by the range
+	// transforms.
+	FFTCalls int64
+	// Workers is the resolved worker count of the frame loop.
+	Workers int
+	// SynthesizeNS, RangeFFTNS and PointCloudNS are the summed per-worker
+	// nanoseconds spent synthesizing baseband frames, range-transforming
+	// them, and extracting point clouds.
+	SynthesizeNS, RangeFFTNS, PointCloudNS int64
+	// ClusterNS covers DBSCAN and cluster summarization; SpotlightNS
+	// covers the per-object beamforming passes (classification features
+	// and decode-mode RCS sampling).
+	ClusterNS, SpotlightNS int64
+	// WallNS is the wall-clock duration of the whole run.
+	WallNS int64
+}
+
 // Result is the output of a full drive-by detection run.
 type Result struct {
 	// Objects lists every cluster that survived the density filter.
@@ -103,6 +139,14 @@ type Result struct {
 	// MergedPoints is the merged world-frame point cloud (diagnostics,
 	// Fig 11b).
 	MergedPoints []cluster.Point
+	// Stats counts the work done by the run.
+	Stats Stats
+}
+
+// frameData is the per-frame output of the parallel synthesis stage.
+type frameData struct {
+	det, dec radar.RangeProfile
+	points   []cluster.Point
 }
 
 // Run drives the full pipeline: truth are the radar's true per-frame
@@ -110,9 +154,11 @@ type Result struct {
 // operations of clustering and spotlighting, which integrate over windows
 // where dead-reckoning drift is negligible), est the vehicle's self-tracked
 // estimates (used for the full-pass RCS sampling that decoding depends on —
-// the error injection point of Fig 16d), vel the vehicle velocity, and rng
-// the noise source.
-func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, rng *rand.Rand) (*Result, error) {
+// the error injection point of Fig 16d), vel the vehicle velocity, and seed
+// the root of the per-frame noise streams (equal seeds reproduce the run
+// exactly, at any worker count).
+func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, seed int64) (*Result, error) {
+	wallStart := time.Now()
 	if len(truth) == 0 || len(truth) != len(est) {
 		return nil, fmt.Errorf("detect: %d truth vs %d estimated positions", len(truth), len(est))
 	}
@@ -144,33 +190,64 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, r
 	f := p.Radar.CenterFrequency
 
 	// Pass 1: synthesize both modes per frame, keep range profiles, and
-	// build the merged world-frame point cloud from detection mode.
+	// build the merged world-frame point cloud from detection mode. Frames
+	// are independent given their seed stream, so the loop fans out on the
+	// sweep pool; per-stage times accumulate atomically across workers.
 	n := len(truth)
-	detProfiles := make([]radar.RangeProfile, n)
-	decProfiles := make([]radar.RangeProfile, n)
-	var merged []cluster.Point
-	for i := 0; i < n; i++ {
+	var synthNS, rangeNS, cloudNS atomic.Int64
+	frames, err := sweep.Run(n, p.Workers, func(i int) (frameData, error) {
+		rng := sweep.NewRand(seed, i)
+		t0 := time.Now()
 		detScat := sc.Scatterers(truth[i], vel, scene.ModeDetect, fe, f, rng)
 		decScat := sc.Scatterers(truth[i], vel, scene.ModeDecode, fe, f, rng)
 		detFrame := p.Radar.Synthesize(detScat, rng)
 		decFrame := p.Radar.Synthesize(decScat, rng)
-		detProfiles[i] = p.Radar.RangeProfile(detFrame)
-		decProfiles[i] = p.Radar.RangeProfile(decFrame)
+		t1 := time.Now()
+		fd := frameData{
+			det: p.Radar.RangeProfile(detFrame),
+			dec: p.Radar.RangeProfile(decFrame),
+		}
+		radar.ReleaseFrame(detFrame)
+		radar.ReleaseFrame(decFrame)
+		t2 := time.Now()
 
-		for _, d := range p.Radar.PointCloudFromProfile(detProfiles[i], p.Detect) {
+		for _, d := range p.Radar.PointCloudFromProfile(fd.det, p.Detect) {
 			// Radar at y > 0 looks toward -y; a detection at (range, az)
 			// sits at radar + range*(sin az, -cos az).
 			world := truth[i].XY().Add(geom.Vec2{
 				X: d.Range * math.Sin(d.Azimuth),
 				Y: -d.Range * math.Cos(d.Azimuth),
 			})
-			merged = append(merged, cluster.Point{Pos: world, Weight: d.Power})
+			fd.points = append(fd.points, cluster.Point{Pos: world, Weight: d.Power})
 		}
+		t3 := time.Now()
+		synthNS.Add(t1.Sub(t0).Nanoseconds())
+		rangeNS.Add(t2.Sub(t1).Nanoseconds())
+		cloudNS.Add(t3.Sub(t2).Nanoseconds())
+		return fd, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The profiles live in pooled buffers; hand them back once the run is
+	// done with them (nothing in Result references them).
+	defer func() {
+		for _, fd := range frames {
+			radar.ReleaseProfile(fd.det)
+			radar.ReleaseProfile(fd.dec)
+		}
+	}()
+	var merged []cluster.Point
+	for _, fd := range frames {
+		merged = append(merged, fd.points...)
 	}
 
+	clusterStart := time.Now()
 	labels := cluster.DBSCAN(merged, eps, minPts)
 	stats := cluster.Summarize(merged, labels, p.Radar.RangeResolution())
+	clusterNS := time.Since(clusterStart).Nanoseconds()
 
+	spotlightStart := time.Now()
 	res := &Result{TagIndex: -1, MergedPoints: merged}
 	for _, st := range stats {
 		if st.Count < minFrames {
@@ -188,8 +265,8 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, r
 				continue
 			}
 			bin := p.Radar.BinForRange(r)
-			det := p.Radar.AoASpectrum(detProfiles[i], bin, []float64{az})[0]
-			dec := p.Radar.AoASpectrum(decProfiles[i], bin, []float64{az})[0]
+			det := p.Radar.AoASpectrum(frames[i].det, bin, []float64{az})[0]
+			dec := p.Radar.AoASpectrum(frames[i].dec, bin, []float64{az})[0]
 			// Subtract the expected beamformed noise power so weak
 			// decode-mode readings do not bias the loss feature low.
 			noise := 1.5 * p.Radar.NoisePerBin() / float64(p.Radar.NumRx)
@@ -237,7 +314,19 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, r
 			res.TagIndex = i
 		}
 	}
+
+	res.Stats = Stats{
+		Frames:       2 * n,
+		FFTCalls:     int64(2*n) * int64(p.Radar.NumRx),
+		Workers:      resolveWorkers(p.Workers, n),
+		SynthesizeNS: synthNS.Load(),
+		RangeFFTNS:   rangeNS.Load(),
+		PointCloudNS: cloudNS.Load(),
+		ClusterNS:    clusterNS,
+	}
 	if res.TagIndex < 0 {
+		res.Stats.SpotlightNS = time.Since(spotlightStart).Nanoseconds()
+		res.Stats.WallNS = time.Since(wallStart).Nanoseconds()
 		return res, nil
 	}
 
@@ -260,7 +349,7 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, r
 			continue
 		}
 		bin := p.Radar.BinForRange(r)
-		rss := p.Radar.AoASpectrum(decProfiles[i], bin, []float64{az})[0]
+		rss := p.Radar.AoASpectrum(frames[i].dec, bin, []float64{az})[0]
 		// Path-loss compensation per Eq 1 (d^4) using tracked range, so
 		// the samples are proportional to RCS.
 		rss *= r * r * r * r
@@ -268,5 +357,18 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, r
 		res.TagRSS = append(res.TagRSS, rss)
 		res.TagRange = append(res.TagRange, r)
 	}
+	res.Stats.SpotlightNS = time.Since(spotlightStart).Nanoseconds()
+	res.Stats.WallNS = time.Since(wallStart).Nanoseconds()
 	return res, nil
+}
+
+// resolveWorkers mirrors sweep.Run's worker-count resolution for reporting.
+func resolveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
 }

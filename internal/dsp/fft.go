@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // NextPow2 returns the smallest power of two that is >= n.
@@ -51,6 +52,15 @@ func IFFT(x []complex128) []complex128 {
 	return out
 }
 
+// FFTInPlace transforms x in place, avoiding the output allocation of FFT.
+// Hot paths that own their buffer (e.g. the per-frame range transform) use
+// it to keep the per-call allocation at zero.
+func FFTInPlace(x []complex128) { fftInPlace(x, false) }
+
+// IFFTInPlace is FFTInPlace for the inverse transform, including the 1/N
+// normalization.
+func IFFTInPlace(x []complex128) { fftInPlace(x, true) }
+
 // fftInPlace transforms x in place. If inverse is true the conjugate
 // transform with 1/N scaling is applied.
 func fftInPlace(x []complex128, inverse bool) {
@@ -71,9 +81,31 @@ func fftInPlace(x []complex128, inverse bool) {
 	}
 }
 
+// twiddles caches the forward roots of unity per transform size:
+// twiddles[n][j] = exp(-2*pi*i*j/n) for j < n/2. The tables are shared
+// read-only across goroutines (the frame loop of package detect runs FFTs
+// from many workers at once), so the cache is a sync.Map keyed by n.
+var twiddles sync.Map // int -> []complex128
+
+func twiddleTable(n int) []complex128 {
+	if t, ok := twiddles.Load(n); ok {
+		return t.([]complex128)
+	}
+	half := n / 2
+	t := make([]complex128, half)
+	for j := 0; j < half; j++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
+		t[j] = complex(c, s)
+	}
+	actual, _ := twiddles.LoadOrStore(n, t)
+	return actual.([]complex128)
+}
+
 // radix2 is an iterative in-place Cooley-Tukey FFT for power-of-two lengths.
-// When inverse is set the twiddle factors are conjugated; scaling is left to
-// the caller.
+// Twiddle factors come from a process-wide per-size table (conjugated for
+// the inverse transform), which both removes the per-butterfly complex
+// multiply chain of the textbook formulation (and its accumulated rounding)
+// and keeps the per-call allocation at zero. Scaling is left to the caller.
 func radix2(x []complex128, inverse bool) {
 	n := len(x)
 	// Bit-reversal permutation.
@@ -87,61 +119,88 @@ func radix2(x []complex128, inverse bool) {
 		}
 		j |= mask
 	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
+	roots := twiddleTable(n)
 	for span := 1; span < n; span <<= 1 {
 		step := span << 1
-		theta := sign * math.Pi / float64(span)
-		wStep := cmplx.Exp(complex(0, theta))
+		stride := n / step // twiddle index stride at this stage
 		for start := 0; start < n; start += step {
-			w := complex(1, 0)
 			for k := 0; k < span; k++ {
+				w := roots[k*stride]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
 				a := x[start+k]
 				b := x[start+k+span] * w
 				x[start+k] = a + b
 				x[start+k+span] = a - b
-				w *= wStep
 			}
 		}
 	}
 }
 
-// bluestein computes an arbitrary-length DFT via the chirp-z transform,
-// expressing it as a convolution that is evaluated with power-of-two FFTs.
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
+// chirpPlan caches the Bluestein precomputation for one (length, direction)
+// pair: the chirp sequence and the forward FFT of the convolution kernel.
+type chirpPlan struct {
+	w    []complex128 // chirp w[k] = exp(sign*i*pi*k^2/n)
+	bfft []complex128 // FFT of the zero-padded conj(w) kernel, length m
+	m    int
+}
+
+var chirpPlans sync.Map // [2]int{n, sign} -> *chirpPlan
+
+func chirpPlanFor(n int, inverse bool) *chirpPlan {
+	sign := 0
 	if inverse {
-		sign = 1.0
+		sign = 1
+	}
+	key := [2]int{n, sign}
+	if p, ok := chirpPlans.Load(key); ok {
+		return p.(*chirpPlan)
+	}
+	s := -1.0
+	if inverse {
+		s = 1.0
 	}
 	// Chirp w[k] = exp(sign * i*pi*k^2/n). Indices are reduced mod 2n to
 	// keep k^2 from losing precision for large n.
 	w := make([]complex128, n)
 	for k := 0; k < n; k++ {
 		kk := int64(k) * int64(k) % int64(2*n)
-		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+		w[k] = cmplx.Exp(complex(0, s*math.Pi*float64(kk)/float64(n)))
 	}
 	m := NextPow2(2*n - 1)
-	a := make([]complex128, m)
 	b := make([]complex128, m)
 	for k := 0; k < n; k++ {
-		a[k] = x[k] * w[k]
 		b[k] = cmplx.Conj(w[k])
 	}
 	for k := 1; k < n; k++ {
 		b[m-k] = cmplx.Conj(w[k])
 	}
-	radix2(a, false)
 	radix2(b, false)
+	p := &chirpPlan{w: w, bfft: b, m: m}
+	actual, _ := chirpPlans.LoadOrStore(key, p)
+	return actual.(*chirpPlan)
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// expressing it as a convolution that is evaluated with power-of-two FFTs.
+// The chirp and the kernel's FFT depend only on (length, direction) and are
+// cached across calls.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	p := chirpPlanFor(n, inverse)
+	a := make([]complex128, p.m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * p.w[k]
+	}
+	radix2(a, false)
 	for i := range a {
-		a[i] *= b[i]
+		a[i] *= p.bfft[i]
 	}
 	radix2(a, true)
-	scale := complex(1/float64(m), 0)
+	scale := complex(1/float64(p.m), 0)
 	for k := 0; k < n; k++ {
-		x[k] = a[k] * scale * w[k]
+		x[k] = a[k] * scale * p.w[k]
 	}
 }
 

@@ -123,7 +123,11 @@ func TestStatsHelpers(t *testing.T) {
 	if v := Variance([]float64{1}); v != 0 {
 		t.Errorf("Variance of singleton = %g", v)
 	}
-	if p := Percentile(nil, 50); p != 0 {
-		t.Errorf("Percentile(nil) = %g", p)
+	// Empty input reads as "no signal", not 0 dBm.
+	if p := Percentile(nil, 50); !math.IsInf(p, -1) {
+		t.Errorf("Percentile(nil) = %g, want -Inf", p)
+	}
+	if m := Median(nil); !math.IsInf(m, -1) {
+		t.Errorf("Median(nil) = %g, want -Inf", m)
 	}
 }

@@ -37,7 +37,7 @@ func StdDev(x []float64) float64 {
 	return math.Sqrt(Variance(x))
 }
 
-// Median returns the median of x, or 0 for an empty slice. x is not
+// Median returns the median of x, or -Inf for an empty slice. x is not
 // modified.
 func Median(x []float64) float64 {
 	return Percentile(x, 50)
@@ -45,9 +45,14 @@ func Median(x []float64) float64 {
 
 // Percentile returns the p-th percentile (0..100) of x using linear
 // interpolation between closest ranks. x is not modified.
+//
+// An empty slice returns -Inf rather than 0: the callers aggregate received
+// power in dBm, where 0 is a real (very strong) level but -Inf reads
+// unambiguously as "no signal" (an all-invalid pass previously reported a
+// bogus 0 dBm median RSS).
 func Percentile(x []float64, p float64) float64 {
 	if len(x) == 0 {
-		return 0
+		return math.Inf(-1)
 	}
 	s := make([]float64, len(x))
 	copy(s, x)

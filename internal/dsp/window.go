@@ -1,6 +1,9 @@
 package dsp
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Window identifies a tapering window applied before spectral analysis to
 // control leakage from the strong coding peaks into neighbouring bins.
@@ -60,6 +63,40 @@ func (w Window) Coefficients(n int) []float64 {
 		}
 	}
 	return c
+}
+
+// windowCache memoizes coefficient tables per (window, length): the range
+// transform windows every channel of every frame with the same table, and
+// recomputing the cosines dominated its profile. Entries are shared
+// read-only across goroutines.
+var windowCache sync.Map // [2]int{window, n} -> *windowEntry
+
+type windowEntry struct {
+	coeffs []float64
+	gain   float64
+}
+
+// CachedCoefficients returns the window coefficients alongside the coherent
+// gain from a process-wide cache. The returned slice is shared: callers must
+// treat it as read-only (use Coefficients for a private copy).
+func (w Window) CachedCoefficients(n int) ([]float64, float64) {
+	key := [2]int{int(w), n}
+	if e, ok := windowCache.Load(key); ok {
+		ent := e.(*windowEntry)
+		return ent.coeffs, ent.gain
+	}
+	c := w.Coefficients(n)
+	sum := 0.0
+	for _, v := range c {
+		sum += v
+	}
+	gain := 1.0
+	if len(c) > 0 {
+		gain = sum / float64(len(c))
+	}
+	actual, _ := windowCache.LoadOrStore(key, &windowEntry{coeffs: c, gain: gain})
+	ent := actual.(*windowEntry)
+	return ent.coeffs, ent.gain
 }
 
 // Apply multiplies x by the window coefficients in place and returns x.

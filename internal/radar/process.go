@@ -24,13 +24,15 @@ func (c Config) RangeProfile(f Frame) RangeProfile {
 	if len(f.Samples) != c.NumRx {
 		panic(fmt.Sprintf("radar: frame has %d channels, config %d", len(f.Samples), c.NumRx))
 	}
-	out := RangeProfile{Bins: make([][]complex128, c.NumRx), BinSize: c.RangeBinSize()}
+	out := RangeProfile{Bins: acquireChannels(c.NumRx, c.Samples, false), BinSize: c.RangeBinSize()}
 	// Hann window against range sidelobes (a -2 dBsm street lamp would
 	// otherwise smear -13 dB rectangular sidelobes across the whole
 	// profile); normalized by the coherent gain to keep bin magnitudes
-	// calibrated.
-	win := dsp.Hann.Coefficients(c.Samples)
-	gain := dsp.Hann.CoherentGain(c.Samples)
+	// calibrated. The coefficients come from the process-wide cache and the
+	// transform runs in place in the pooled bin buffer, so the per-frame
+	// range transform allocates nothing in steady state.
+	win, gain := dsp.Hann.CachedCoefficients(c.Samples)
+	invGain := 1 / gain
 	for k, ch := range f.Samples {
 		if len(ch) != c.Samples {
 			panic(fmt.Sprintf("radar: channel %d has %d samples, config %d", k, len(ch), c.Samples))
@@ -38,11 +40,11 @@ func (c Config) RangeProfile(f Frame) RangeProfile {
 		// The beat phase decreases with time (see Synthesize), so the
 		// range peak appears in the IFFT, exactly as Eq 3 writes it; the
 		// IFFT's 1/N scaling makes bin magnitudes calibrated amplitudes.
-		windowed := make([]complex128, len(ch))
+		bins := out.Bins[k]
 		for i, v := range ch {
-			windowed[i] = v * complex(win[i]/gain, 0)
+			bins[i] = v * complex(win[i]*invGain, 0)
 		}
-		out.Bins[k] = dsp.IFFT(windowed)
+		dsp.IFFTInPlace(bins)
 	}
 	return out
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"ros/internal/beamshape"
 	"ros/internal/coding"
@@ -77,8 +78,35 @@ type DriveBy struct {
 	FrameBudget int
 	// Radar overrides the radar configuration (default TI1443).
 	Radar *radar.Config
-	// Seed drives all randomness.
+	// Seed drives all randomness. Equal seeds reproduce the outcome
+	// exactly at any Workers setting.
 	Seed int64
+	// Workers is the worker count for the per-frame radar loop; 0 uses
+	// GOMAXPROCS.
+	Workers int
+}
+
+// Stats counts the work done by one pass. Per-stage frame-loop times are
+// summed across workers (CPU time); WallNS is the end-to-end wall clock.
+type Stats struct {
+	// Frames is the number of radar frames synthesized (two polarization
+	// modes per pose).
+	Frames int
+	// FFTCalls is the number of fast-time FFTs run by the range
+	// transforms.
+	FFTCalls int64
+	// Workers is the resolved frame-loop worker count.
+	Workers int
+	// SynthesizeNS, RangeFFTNS and PointCloudNS are summed per-worker
+	// nanoseconds of the frame loop's three stages.
+	SynthesizeNS, RangeFFTNS, PointCloudNS int64
+	// ClusterNS and SpotlightNS time the sequential clustering and
+	// beamforming passes.
+	ClusterNS, SpotlightNS int64
+	// DecodeNS times the spectral decoder.
+	DecodeNS int64
+	// WallNS is the wall clock of the whole pass.
+	WallNS int64
 }
 
 // Outcome reports one pass.
@@ -104,6 +132,8 @@ type Outcome struct {
 	Detection *detect.Result
 	// Decode carries the decoder result (nil when undetected).
 	Decode *coding.Result
+	// Stats counts the pass's work (frames, FFTs, per-stage time).
+	Stats Stats
 }
 
 // defaults fills zero-valued fields.
@@ -138,7 +168,12 @@ func buildStack(modules int, shaped bool) *stack.Stack {
 
 // Run executes the pass.
 func Run(cfg DriveBy) (*Outcome, error) {
+	wallStart := time.Now()
 	cfg.defaults()
+	// The root rng drives the sequential setup (clutter geometry, platform
+	// vibration, tracking drift); the per-frame noise streams inside the
+	// detection pipeline are derived independently from cfg.Seed, so the
+	// parallel frame loop stays deterministic at any worker count.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	bits, err := coding.ParseBits(cfg.Bits)
@@ -254,13 +289,25 @@ func Run(cfg DriveBy) (*Outcome, error) {
 		// positions; decode the first tag even when the two clouds fuse.
 		p.ForceTagNear = &geom.Vec2{}
 	}
+	p.Workers = cfg.Workers
 	vel := geom.Vec3{X: cfg.Speed}
-	res, err := p.Run(sc, truth, est, vel, rng)
+	res, err := p.Run(sc, truth, est, vel, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 
 	out := &Outcome{Detection: res, SNRdB: math.Inf(-1), BER: 0.5, MedianRSSdBm: math.Inf(-1)}
+	out.Stats = Stats{
+		Frames:       res.Stats.Frames,
+		FFTCalls:     res.Stats.FFTCalls,
+		Workers:      res.Stats.Workers,
+		SynthesizeNS: res.Stats.SynthesizeNS,
+		RangeFFTNS:   res.Stats.RangeFFTNS,
+		PointCloudNS: res.Stats.PointCloudNS,
+		ClusterNS:    res.Stats.ClusterNS,
+		SpotlightNS:  res.Stats.SpotlightNS,
+	}
+	defer func() { out.Stats.WallNS = time.Since(wallStart).Nanoseconds() }()
 	if res.TagIndex < 0 || len(res.TagU) < 16 {
 		return out, nil
 	}
@@ -277,13 +324,17 @@ func Run(cfg DriveBy) (*Outcome, error) {
 			rssDBm = append(rssDBm, em.DBm(res.TagRSS[i]/(r*r*r*r)))
 		}
 	}
+	// dsp.Median returns -Inf for an empty slice, so an all-invalid-range
+	// pass reports "lost" rather than a bogus 0 dBm.
 	out.MedianRSSdBm = dsp.Median(rssDBm)
 
 	dec, err := coding.NewDecoder(len(bits), layout.Delta, rcfg.Wavelength())
 	if err != nil {
 		return nil, err
 	}
+	decodeStart := time.Now()
 	decoded, err := dec.Decode(res.TagU, res.TagRSS)
+	out.Stats.DecodeNS = time.Since(decodeStart).Nanoseconds()
 	if err != nil {
 		return out, nil // detected but undecodable: report as such
 	}

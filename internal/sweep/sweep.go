@@ -1,18 +1,24 @@
 // Package sweep runs independent simulation points concurrently: the
 // evaluation figures are parameter sweeps over drive-by runs that share
 // nothing, so a small worker pool cuts the wall-clock of cmd/rosbench and
-// the benchmark suite by the core count.
+// the benchmark suite by the core count. The same pool drives the per-frame
+// radar synthesis loop of package detect, whose determinism rests on the
+// per-point seed streams of SubSeed.
 package sweep
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 )
 
 // Run evaluates fn for every index 0..n-1 on a worker pool and returns the
 // results in order. A worker count of 0 uses GOMAXPROCS. The first error
-// cancels nothing (remaining points still run) but is returned.
+// cancels nothing (remaining points still run) but is returned. A panic in
+// fn is recovered and reported as an error tagged with the point index, so
+// one bad point cannot take down the whole process from an anonymous
+// goroutine.
 func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("sweep: negative point count %d", n)
@@ -32,6 +38,15 @@ func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		return out, nil
 	}
 
+	point := func(i int) (result T, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("sweep: point %d panicked: %v", i, r)
+			}
+		}()
+		return fn(i)
+	}
+
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -39,7 +54,7 @@ func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i], errs[i] = fn(i)
+				out[i], errs[i] = point(i)
 			}
 		}()
 	}
@@ -62,4 +77,41 @@ func Map[In, Out any](inputs []In, workers int, fn func(In) (Out, error)) ([]Out
 	return Run(len(inputs), workers, func(i int) (Out, error) {
 		return fn(inputs[i])
 	})
+}
+
+// SubSeed derives a deterministic per-point RNG seed from a base seed and a
+// point index by mixing both through a SplitMix64 finalizer. Work items that
+// each seed their own rand.Rand with SubSeed(seed, i) produce results that
+// depend only on (seed, i) — never on worker count or scheduling — which is
+// what makes the parallel frame loop of package detect byte-reproducible at
+// any parallelism.
+func SubSeed(seed int64, index int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(index)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// splitmix is a SplitMix64 rand.Source64. The stdlib's default source seeds
+// a 607-word feedback table on every NewSource — measurably expensive when
+// every frame of a pass opens its own stream — while SplitMix64 seeds in
+// one word and passes the usual statistical batteries, which is plenty for
+// thermal-noise draws.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix) Seed(seed int64) { s.state = uint64(seed) }
+
+// NewRand returns the deterministic RNG stream for one work item: a
+// rand.Rand over a SplitMix64 source seeded with SubSeed(seed, index).
+func NewRand(seed int64, index int) *rand.Rand {
+	return rand.New(&splitmix{state: uint64(SubSeed(seed, index))})
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -89,5 +90,54 @@ func TestMap(t *testing.T) {
 	}
 	if fmt.Sprint(out) != "[1 2 3]" {
 		t.Errorf("out = %v", out)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	out, err := Run(10, 4, func(i int) (int, error) {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("panic in point 5 not reported")
+	}
+	if !strings.Contains(err.Error(), "point 5") || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("err = %v, want point index and panic value", err)
+	}
+	// The panicking worker keeps draining: the other points still ran.
+	if out[9] != 9 {
+		t.Errorf("out[9] = %d, want 9 (pool died with the panic)", out[9])
+	}
+}
+
+func TestSubSeedStreamsAreStable(t *testing.T) {
+	// Distinct indices give distinct seeds, and the derivation is pure.
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := SubSeed(42, i)
+		if seen[s] {
+			t.Fatalf("SubSeed(42, %d) collides", i)
+		}
+		seen[s] = true
+		if s != SubSeed(42, i) {
+			t.Fatalf("SubSeed(42, %d) not deterministic", i)
+		}
+	}
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Error("different base seeds map to the same stream")
+	}
+}
+
+func TestNewRandReproduces(t *testing.T) {
+	a, b := NewRand(7, 3), NewRand(7, 3)
+	for i := 0; i < 100; i++ {
+		if a.NormFloat64() != b.NormFloat64() {
+			t.Fatal("equal (seed, index) streams diverge")
+		}
+	}
+	if NewRand(7, 3).NormFloat64() == NewRand(7, 4).NormFloat64() {
+		t.Error("adjacent frame streams start identically")
 	}
 }

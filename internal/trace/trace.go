@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Capture is one recorded tag read.
@@ -78,17 +79,35 @@ func Read(r io.Reader) (*Capture, error) {
 	return &c, nil
 }
 
-// Save writes the capture to a file.
+// Save writes the capture to a file. The capture is encoded to a temporary
+// file in the destination's directory and renamed into place, so a failed
+// validation or write can never leave a truncated half-capture behind an
+// existing file.
 func Save(path string, c *Capture) error {
-	f, err := os.Create(path)
+	// Validate before touching the filesystem at all.
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
-	defer f.Close()
+	tmp := f.Name()
 	if err := c.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
 }
 
 // Load reads a capture from a file.

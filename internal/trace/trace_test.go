@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -143,5 +144,44 @@ func TestCaptureDecodes(t *testing.T) {
 	}
 	if got := coding.BitsString(res.Bits); got != "1010" {
 		t.Errorf("decoded %q from capture, want 1010", got)
+	}
+}
+
+func TestSaveFailureKeepsExistingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "read.json")
+	good := sampleCapture()
+	if err := Save(path, good); err != nil {
+		t.Fatal(err)
+	}
+	// A capture that fails validation must not clobber the good file on
+	// disk (the old implementation truncated it before validating).
+	bad := sampleCapture()
+	bad.U = bad.U[:4]
+	bad.RSS = bad.RSS[:4]
+	if err := Save(path, bad); err == nil {
+		t.Fatal("invalid capture saved")
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("previous capture corrupted: %v", err)
+	}
+	if len(back.U) != len(good.U) {
+		t.Errorf("previous capture overwritten: %d samples", len(back.U))
+	}
+	// No temp-file litter either.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want just the capture", len(entries))
+	}
+}
+
+func TestSaveToMissingDirFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "read.json")
+	if err := Save(path, sampleCapture()); err == nil {
+		t.Error("save into missing directory succeeded")
 	}
 }

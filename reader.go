@@ -2,6 +2,7 @@ package ros
 
 import (
 	"fmt"
+	"time"
 
 	"ros/internal/em"
 	"ros/internal/radar"
@@ -63,8 +64,12 @@ type ReadOptions struct {
 	TrackingError float64
 	// WithClutter surrounds the tag with typical roadside objects.
 	WithClutter bool
-	// Seed drives all randomness; equal seeds reproduce reads exactly.
+	// Seed drives all randomness; equal seeds reproduce reads exactly —
+	// byte-identically, at any Workers setting or GOMAXPROCS.
 	Seed int64
+	// Workers caps the worker pool of the per-frame radar loop; 0 uses
+	// GOMAXPROCS. The result does not depend on it.
+	Workers int
 }
 
 // FogLevel re-exports the weather conditions of Fig 16c.
@@ -92,10 +97,28 @@ type Reading struct {
 	RSSLossDB float64
 	// MedianRSSdBm is the tag's median received signal strength.
 	MedianRSSdBm float64
+	// Stats counts the work behind the read (frames synthesized, FFT
+	// calls, per-stage time).
+	Stats ReadStats
 
 	// capture holds the raw (u, RSS) samples backing the read, for
 	// SaveCapture.
 	capture *trace.Capture
+}
+
+// ReadStats counts the signal-processing work behind one read. Stage times
+// for the parallel frame loop are summed across workers; Wall is the
+// end-to-end duration.
+type ReadStats struct {
+	// Frames is the number of radar frames synthesized.
+	Frames int
+	// FFTCalls is the number of fast-time FFTs run.
+	FFTCalls int64
+	// Workers is the resolved frame-loop worker count.
+	Workers int
+	// Synthesize, RangeFFT, PointCloud, Cluster, Spotlight and Decode are
+	// the per-stage durations; Wall is the whole read.
+	Synthesize, RangeFFT, PointCloud, Cluster, Spotlight, Decode, Wall time.Duration
 }
 
 // SaveCapture archives the read's raw RCS samples as JSON, decodable later
@@ -127,6 +150,7 @@ func (r *Reader) Read(t *Tag, opts ReadOptions) (*Reading, error) {
 		TrackingError: opts.TrackingError,
 		WithClutter:   opts.WithClutter,
 		Seed:          opts.Seed,
+		Workers:       opts.Workers,
 		Radar:         &r.radar,
 	}
 	out, err := sim.Run(cfg)
@@ -140,6 +164,18 @@ func (r *Reader) Read(t *Tag, opts ReadOptions) (*Reading, error) {
 		BER:          out.BER,
 		RSSLossDB:    out.RSSLossDB,
 		MedianRSSdBm: out.MedianRSSdBm,
+		Stats: ReadStats{
+			Frames:     out.Stats.Frames,
+			FFTCalls:   out.Stats.FFTCalls,
+			Workers:    out.Stats.Workers,
+			Synthesize: time.Duration(out.Stats.SynthesizeNS),
+			RangeFFT:   time.Duration(out.Stats.RangeFFTNS),
+			PointCloud: time.Duration(out.Stats.PointCloudNS),
+			Cluster:    time.Duration(out.Stats.ClusterNS),
+			Spotlight:  time.Duration(out.Stats.SpotlightNS),
+			Decode:     time.Duration(out.Stats.DecodeNS),
+			Wall:       time.Duration(out.Stats.WallNS),
+		},
 	}
 	if out.Detected && len(out.Detection.TagU) >= 8 {
 		reading.capture = &trace.Capture{
