@@ -1,11 +1,16 @@
 # Developer entry points. CI runs `make ci`; the race detector is part of
-# the gate because the per-frame radar loop runs on a worker pool.
+# the gate because the per-frame radar loop runs on a worker pool and the
+# obs registry/span substrate is exercised concurrently in its tests.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci fmt vet build test race bench bench-trend
 
-ci: vet build race
+ci: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -21,3 +26,8 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Append one machine-readable record (per-experiment wall ms + canonical-read
+# span timings) to the checked-in trend file. Run before/after perf PRs.
+bench-trend:
+	$(GO) run ./cmd/rosbench -json -trend BENCH_trend.jsonl

@@ -3,8 +3,14 @@
 // experiment ids (e.g. "fig15", "linkbudget") to run a subset, or -list to
 // enumerate them. After the tables it reports the engine counters of a
 // canonical drive-by read; -json instead emits the whole run as a
-// machine-readable benchmark record, so successive commits can track the
-// performance trajectory.
+// machine-readable benchmark record, and -trend appends that record as one
+// JSON line to a trend file so successive commits can track the performance
+// trajectory. A failing experiment no longer loses the run: its record entry
+// carries an "error" field and the remaining experiments still execute.
+//
+// -serve starts the observability endpoints (Prometheus /metrics, expvar
+// /debug/vars, /debug/pprof/) for the duration of the run, so long sweeps
+// can be profiled live; -log enables structured logging at the given level.
 package main
 
 import (
@@ -17,17 +23,22 @@ import (
 	"flag"
 
 	"ros/internal/experiments"
+	"ros/internal/obs"
+	"ros/internal/obs/httpserve"
 	"ros/internal/sim"
 )
 
-// expTiming is one experiment's entry in the -json record.
+// expTiming is one experiment's entry in the -json record. Error is set when
+// the experiment panicked; its table is then absent but the run continues.
 type expTiming struct {
-	ID string  `json:"id"`
-	Ms float64 `json:"ms"`
+	ID    string  `json:"id"`
+	Ms    float64 `json:"ms"`
+	Error string  `json:"error,omitempty"`
 }
 
 // readRecord reports the canonical drive-by read that anchors the
-// performance trajectory across commits.
+// performance trajectory across commits. The per-stage times are the flat
+// view of the read's span tree (see internal/obs).
 type readRecord struct {
 	Detected     bool    `json:"detected"`
 	SNRdB        float64 `json:"snr_db"`
@@ -43,14 +54,17 @@ type readRecord struct {
 	WallMs       float64 `json:"wall_ms"`
 }
 
-// benchRecord is the top-level -json document.
+// benchRecord is the top-level -json / -trend document.
 type benchRecord struct {
-	GoVersion   string      `json:"go_version"`
-	GOOS        string      `json:"goos"`
-	GOARCH      string      `json:"goarch"`
-	NumCPU      int         `json:"num_cpu"`
-	Experiments []expTiming `json:"experiments"`
-	Read        readRecord  `json:"read"`
+	Time        string        `json:"time"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	Experiments []expTiming   `json:"experiments"`
+	Read        readRecord    `json:"read"`
+	Spans       *obs.SpanView `json:"spans,omitempty"`
+	Error       string        `json:"error,omitempty"`
 }
 
 func ms(ns int64) float64 { return float64(ns) / 1e6 }
@@ -84,17 +98,73 @@ func readToRecord(out *sim.Outcome) readRecord {
 	}
 }
 
+// Experiment wall-time distribution, for the -serve endpoints.
+var hExperiment = obs.Default.Histogram("ros_experiment_seconds",
+	"wall time of one experiment generator", obs.LogBuckets(1e-3, 1e3, 2))
+
+// runExperiment executes one generator, recovering a panic into the timing
+// record so one bad experiment cannot lose the whole run.
+func runExperiment(g experiments.Generator) (timing expTiming, table string) {
+	timing.ID = g.ID
+	start := time.Now()
+	defer func() {
+		elapsed := time.Since(start)
+		timing.Ms = ms(elapsed.Nanoseconds())
+		hExperiment.Observe(elapsed.Seconds())
+		if r := recover(); r != nil {
+			timing.Error = fmt.Sprint(r)
+			obs.Logger().Error("rosbench: experiment failed",
+				"id", g.ID, "err", timing.Error)
+		}
+	}()
+	return timing, g.Run().String()
+}
+
+// appendTrend appends the record as one JSON line to path.
+func appendTrend(path string, rec benchRecord) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f) // Encode terminates the record with \n
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outPath := flag.String("o", "", "also write the tables to this file")
 	jsonMode := flag.Bool("json", false, "emit a machine-readable benchmark record instead of tables")
+	trendPath := flag.String("trend", "", "append the benchmark record as one JSON line to this file")
+	serveAddr := flag.String("serve", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the duration of the run (e.g. localhost:6060)")
+	logLevel := flag.String("log", "off", "structured log level: debug, info, warn, error or off")
 	flag.Parse()
+
+	if level, off, ok := obs.ParseLevel(*logLevel); !ok {
+		fmt.Fprintf(os.Stderr, "rosbench: unknown -log level %q\n", *logLevel)
+		os.Exit(2)
+	} else if !off {
+		obs.SetLogger(obs.NewTextLogger(os.Stderr, level))
+	}
 
 	if *list {
 		for _, g := range experiments.Registry() {
 			fmt.Println(g.ID)
 		}
 		return
+	}
+
+	if *serveAddr != "" {
+		srv, err := httpserve.Start(*serveAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rosbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rosbench: observability on http://%s/ (metrics, expvar, pprof)\n", srv.Addr())
 	}
 
 	gens := experiments.Registry()
@@ -121,53 +191,77 @@ func main() {
 		sink = f
 	}
 
+	failures := 0
 	var timings []expTiming
 	for _, g := range gens {
-		start := time.Now()
-		table := g.Run()
-		elapsed := time.Since(start)
-		timings = append(timings, expTiming{ID: g.ID, Ms: ms(elapsed.Nanoseconds())})
+		timing, table := runExperiment(g)
+		timings = append(timings, timing)
+		if timing.Error != "" {
+			failures++
+			fmt.Fprintf(os.Stderr, "rosbench: experiment %s failed: %s\n", g.ID, timing.Error)
+			continue
+		}
 		if !*jsonMode {
 			fmt.Println(table)
-			fmt.Printf("(%s regenerated in %v)\n\n", g.ID, elapsed.Round(time.Millisecond))
+			fmt.Printf("(%s regenerated in %v)\n\n", g.ID,
+				(time.Duration(timing.Ms * 1e6)).Round(time.Millisecond))
 		}
 		if sink != nil {
 			fmt.Fprintln(sink, table)
 		}
 	}
 
+	rec := benchRecord{
+		Time:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Experiments: timings,
+	}
 	read, err := canonicalRead()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rosbench:", err)
-		os.Exit(1)
+		// Still emit the partial record: losing the whole run over one
+		// failure is exactly what -json used to do wrong.
+		failures++
+		rec.Error = fmt.Sprintf("canonical read: %v", err)
+		fmt.Fprintln(os.Stderr, "rosbench:", rec.Error)
+	} else {
+		rec.Read = readToRecord(read)
+		if read.Span != nil {
+			v := read.Span.View()
+			rec.Spans = &v
+		}
+	}
+
+	if *trendPath != "" {
+		if err := appendTrend(*trendPath, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "rosbench:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *jsonMode {
-		rec := benchRecord{
-			GoVersion:   runtime.Version(),
-			GOOS:        runtime.GOOS,
-			GOARCH:      runtime.GOARCH,
-			NumCPU:      runtime.NumCPU(),
-			Experiments: timings,
-			Read:        readToRecord(read),
-		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", " ")
 		if err := enc.Encode(rec); err != nil {
 			fmt.Fprintln(os.Stderr, "rosbench:", err)
 			os.Exit(1)
 		}
-		return
+	} else if read != nil {
+		s := read.Stats
+		fmt.Printf("canonical read: %d frames, %d FFTs, %d workers, wall %v\n",
+			s.Frames, s.FFTCalls, s.Workers, time.Duration(s.WallNS).Round(time.Millisecond))
+		fmt.Printf("  stages (worker-summed): synth %v | range FFT %v | cloud %v | cluster %v | spotlight %v | decode %v\n",
+			time.Duration(s.SynthesizeNS).Round(time.Millisecond),
+			time.Duration(s.RangeFFTNS).Round(time.Millisecond),
+			time.Duration(s.PointCloudNS).Round(time.Millisecond),
+			time.Duration(s.ClusterNS).Round(time.Millisecond),
+			time.Duration(s.SpotlightNS).Round(time.Millisecond),
+			time.Duration(s.DecodeNS).Round(time.Millisecond))
 	}
 
-	s := read.Stats
-	fmt.Printf("canonical read: %d frames, %d FFTs, %d workers, wall %v\n",
-		s.Frames, s.FFTCalls, s.Workers, time.Duration(s.WallNS).Round(time.Millisecond))
-	fmt.Printf("  stages (worker-summed): synth %v | range FFT %v | cloud %v | cluster %v | spotlight %v | decode %v\n",
-		time.Duration(s.SynthesizeNS).Round(time.Millisecond),
-		time.Duration(s.RangeFFTNS).Round(time.Millisecond),
-		time.Duration(s.PointCloudNS).Round(time.Millisecond),
-		time.Duration(s.ClusterNS).Round(time.Millisecond),
-		time.Duration(s.SpotlightNS).Round(time.Millisecond),
-		time.Duration(s.DecodeNS).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
 }

@@ -17,16 +17,29 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync/atomic"
 	"time"
 
 	"ros/internal/cluster"
 	"ros/internal/dsp"
 	"ros/internal/em"
 	"ros/internal/geom"
+	"ros/internal/obs"
 	"ros/internal/radar"
 	"ros/internal/scene"
 	"ros/internal/sweep"
+)
+
+// Pipeline-level metrics, accumulated on the Default registry once per run
+// (never per frame, so the hot loop pays nothing for them).
+var (
+	mRuns = obs.Default.Counter("ros_pipeline_runs_total",
+		"detection pipeline runs")
+	mFrames = obs.Default.Counter("ros_frames_synthesized_total",
+		"radar frames synthesized (two polarization modes per pose)")
+	mFFTs = obs.Default.Counter("ros_fft_calls_total",
+		"fast-time FFTs run by the range transforms")
+	mTagsFound = obs.Default.Counter("ros_tags_detected_total",
+		"pipeline runs that classified a tag")
 )
 
 // Pipeline holds the detector configuration.
@@ -102,9 +115,10 @@ type ObjectReport struct {
 	IsTag bool
 }
 
-// Stats counts the work done by one pipeline run. Per-stage times for the
-// parallel frame loop are summed across workers (CPU time, not wall time);
-// WallNS is the end-to-end wall clock of Run.
+// Stats counts the work done by one pipeline run. It is a flat view derived
+// from the run's span tree (Result.Span); per-stage times for the parallel
+// frame loop are summed across workers (CPU time, not wall time), WallNS is
+// the end-to-end wall clock of Run.
 type Stats struct {
 	// Frames is the number of radar frames synthesized (two polarization
 	// modes per pose).
@@ -139,8 +153,40 @@ type Result struct {
 	// MergedPoints is the merged world-frame point cloud (diagnostics,
 	// Fig 11b).
 	MergedPoints []cluster.Point
-	// Stats counts the work done by the run.
+	// Span is the run's trace tree ("detect" with per-stage children);
+	// Stats is derived from it. Callers that do not retain Span may
+	// Release it to return the nodes to the span pool.
+	Span *obs.Span
+	// Stats counts the work done by the run (a flat view of Span).
 	Stats Stats
+}
+
+// Span and stage names of the detection pipeline trace.
+const (
+	SpanRun        = "detect"
+	SpanSynthesize = "synthesize"
+	SpanRangeFFT   = "range_fft"
+	SpanPointCloud = "point_cloud"
+	SpanCluster    = "cluster"
+	SpanSpotlight  = "spotlight"
+)
+
+// StatsFromSpan flattens a detection span tree into the legacy Stats view.
+func StatsFromSpan(sp *obs.Span) Stats {
+	if sp == nil {
+		return Stats{}
+	}
+	return Stats{
+		Frames:       int(sp.IntAttr("frames")),
+		FFTCalls:     sp.IntAttr("fft_calls"),
+		Workers:      int(sp.IntAttr("workers")),
+		SynthesizeNS: sp.ChildDuration(SpanSynthesize).Nanoseconds(),
+		RangeFFTNS:   sp.ChildDuration(SpanRangeFFT).Nanoseconds(),
+		PointCloudNS: sp.ChildDuration(SpanPointCloud).Nanoseconds(),
+		ClusterNS:    sp.ChildDuration(SpanCluster).Nanoseconds(),
+		SpotlightNS:  sp.ChildDuration(SpanSpotlight).Nanoseconds(),
+		WallNS:       sp.Wall().Nanoseconds(),
+	}
 }
 
 // frameData is the per-frame output of the parallel synthesis stage.
@@ -158,11 +204,13 @@ type frameData struct {
 // the root of the per-frame noise streams (equal seeds reproduce the run
 // exactly, at any worker count).
 func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, seed int64) (*Result, error) {
-	wallStart := time.Now()
+	sp := obs.StartSpan(SpanRun)
 	if len(truth) == 0 || len(truth) != len(est) {
+		sp.Release()
 		return nil, fmt.Errorf("detect: %d truth vs %d estimated positions", len(truth), len(est))
 	}
 	if err := p.Radar.Validate(); err != nil {
+		sp.Release()
 		return nil, err
 	}
 	eps := p.ClusterEps
@@ -192,9 +240,16 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 	// Pass 1: synthesize both modes per frame, keep range profiles, and
 	// build the merged world-frame point cloud from detection mode. Frames
 	// are independent given their seed stream, so the loop fans out on the
-	// sweep pool; per-stage times accumulate atomically across workers.
+	// sweep pool; per-stage times accumulate atomically across workers in
+	// the stage spans (Span.Add is one atomic add).
 	n := len(truth)
-	var synthNS, rangeNS, cloudNS atomic.Int64
+	sp.SetAttr("frames", 2*n)
+	sp.SetAttr("fft_calls", int64(2*n)*int64(p.Radar.NumRx))
+	sp.SetAttr("fft_size", p.Radar.Samples)
+	sp.SetAttr("workers", resolveWorkers(p.Workers, n))
+	synthSp := sp.StartChild(SpanSynthesize)
+	rangeSp := sp.StartChild(SpanRangeFFT)
+	cloudSp := sp.StartChild(SpanPointCloud)
 	frames, err := sweep.Run(n, p.Workers, func(i int) (frameData, error) {
 		rng := sweep.NewRand(seed, i)
 		t0 := time.Now()
@@ -221,12 +276,17 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 			fd.points = append(fd.points, cluster.Point{Pos: world, Weight: d.Power})
 		}
 		t3 := time.Now()
-		synthNS.Add(t1.Sub(t0).Nanoseconds())
-		rangeNS.Add(t2.Sub(t1).Nanoseconds())
-		cloudNS.Add(t3.Sub(t2).Nanoseconds())
+		synthSp.Add(t1.Sub(t0))
+		rangeSp.Add(t2.Sub(t1))
+		cloudSp.Add(t3.Sub(t2))
 		return fd, nil
 	})
+	mRuns.Inc()
+	mFrames.Add(int64(2 * n))
+	mFFTs.Add(int64(2*n) * int64(p.Radar.NumRx))
 	if err != nil {
+		obs.Logger().Error("detect: frame loop failed", "frames", n, "seed", seed, "err", err)
+		sp.Release()
 		return nil, err
 	}
 	// The profiles live in pooled buffers; hand them back once the run is
@@ -242,12 +302,13 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 		merged = append(merged, fd.points...)
 	}
 
-	clusterStart := time.Now()
+	clusterSp := sp.StartChild(SpanCluster)
 	labels := cluster.DBSCAN(merged, eps, minPts)
 	stats := cluster.Summarize(merged, labels, p.Radar.RangeResolution())
-	clusterNS := time.Since(clusterStart).Nanoseconds()
+	clusterSp.End()
+	clusterSp.SetAttr("points", len(merged))
 
-	spotlightStart := time.Now()
+	spotSp := sp.StartChild(SpanSpotlight)
 	res := &Result{TagIndex: -1, MergedPoints: merged}
 	for _, st := range stats {
 		if st.Count < minFrames {
@@ -315,20 +376,16 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 		}
 	}
 
-	res.Stats = Stats{
-		Frames:       2 * n,
-		FFTCalls:     int64(2*n) * int64(p.Radar.NumRx),
-		Workers:      resolveWorkers(p.Workers, n),
-		SynthesizeNS: synthNS.Load(),
-		RangeFFTNS:   rangeNS.Load(),
-		PointCloudNS: cloudNS.Load(),
-		ClusterNS:    clusterNS,
-	}
 	if res.TagIndex < 0 {
-		res.Stats.SpotlightNS = time.Since(spotlightStart).Nanoseconds()
-		res.Stats.WallNS = time.Since(wallStart).Nanoseconds()
+		obs.Logger().Info("detect: no tag classified",
+			"objects", len(res.Objects), "seed", seed)
+		spotSp.End()
+		sp.End()
+		res.Span = sp
+		res.Stats = StatsFromSpan(sp)
 		return res, nil
 	}
+	mTagsFound.Inc()
 
 	// Pass 2: sample the tag's decode-mode RSS over u using the estimated
 	// geometry (the tag axis is parallel to the road / x axis).
@@ -357,8 +414,14 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 		res.TagRSS = append(res.TagRSS, rss)
 		res.TagRange = append(res.TagRange, r)
 	}
-	res.Stats.SpotlightNS = time.Since(spotlightStart).Nanoseconds()
-	res.Stats.WallNS = time.Since(wallStart).Nanoseconds()
+	spotSp.End()
+	spotSp.SetAttr("samples", len(res.TagU))
+	sp.End()
+	res.Span = sp
+	res.Stats = StatsFromSpan(sp)
+	obs.Logger().Debug("detect: run complete",
+		"objects", len(res.Objects), "tag_index", res.TagIndex,
+		"samples", len(res.TagU), "wall_ms", float64(res.Stats.WallNS)/1e6)
 	return res, nil
 }
 

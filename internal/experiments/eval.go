@@ -5,24 +5,31 @@ import (
 
 	"ros/internal/em"
 	"ros/internal/geom"
+	"ros/internal/obs"
 	"ros/internal/sim"
 	"ros/internal/sweep"
 )
 
 // mustRun executes a drive-by and panics on configuration errors
-// (experiment definitions are static, so errors are programmer errors).
+// (experiment definitions are static, so errors are programmer errors). The
+// failing configuration is logged first so the panic has context.
 func mustRun(cfg sim.DriveBy) *sim.Outcome {
 	out, err := sim.Run(cfg)
 	if err != nil {
+		obs.Logger().Error("experiments: drive-by failed",
+			"bits", cfg.Bits, "seed", cfg.Seed, "standoff", cfg.Standoff, "err", err)
 		panic(err)
 	}
 	return out
 }
 
 // runAll executes independent drive-bys on a worker pool, preserving order.
+// sweep.Run has already logged each failing point with its index.
 func runAll(cfgs []sim.DriveBy) []*sim.Outcome {
 	outs, err := sweep.Map(cfgs, 0, sim.Run)
 	if err != nil {
+		obs.Logger().Error("experiments: sweep failed",
+			"points", len(cfgs), "err", err)
 		panic(err)
 	}
 	return outs

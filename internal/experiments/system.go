@@ -9,6 +9,7 @@ import (
 	"ros/internal/detect"
 	"ros/internal/em"
 	"ros/internal/geom"
+	"ros/internal/obs"
 	"ros/internal/radar"
 	"ros/internal/scene"
 )
@@ -45,6 +46,7 @@ func runPipeline(sc *scene.Scene, seed int64) *detect.Result {
 	}
 	res, err := p.Run(sc, truth, truth, geom.Vec3{X: 2}, seed)
 	if err != nil {
+		obs.Logger().Error("experiments: Fig 11 pipeline failed", "seed", seed, "err", err)
 		panic(err)
 	}
 	return res
@@ -101,6 +103,12 @@ func Fig11() *Table {
 		if err == nil {
 			t.AddRow("decoded bits", coding.BitsString(out.Bits), "-")
 			t.AddRow("decoding SNR (dB)", f1(out.SNRdB), "-")
+		} else {
+			// This decode failure used to vanish (the table just lost two
+			// rows); keep the table shape tolerant but say why.
+			obs.Logger().Warn("experiments: Fig 11 tag decode failed",
+				"samples", len(res.TagU), "err", err)
+			t.AddRow("decoded bits", "undecodable", "-")
 		}
 	}
 	return t

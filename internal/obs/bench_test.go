@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkFrameInstrumentation measures exactly what the per-frame hot loop
+// of detect.Run pays for observability: four timestamps and three atomic
+// stage adds. The budget is <2% of a frame's ~250us of real work, i.e. the
+// whole pattern must stay under ~5us; it measures in the low hundreds of
+// nanoseconds. BenchmarkEndToEndRead (root package) is the end-to-end gate.
+func BenchmarkFrameInstrumentation(b *testing.B) {
+	root := StartSpan("detect")
+	synth := root.StartChild("synthesize")
+	rng := root.StartChild("range_fft")
+	cloud := root.StartChild("point_cloud")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		t1 := time.Now()
+		t2 := time.Now()
+		t3 := time.Now()
+		synth.Add(t1.Sub(t0))
+		rng.Add(t2.Sub(t1))
+		cloud.Add(t3.Sub(t2))
+	}
+	b.StopTimer()
+	root.Release()
+}
+
+// BenchmarkSpanLifecycle covers the per-run cost: building, ending and
+// releasing a read-shaped span tree with attributes.
+func BenchmarkSpanLifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		root := StartSpan("read")
+		det := root.StartChild("detect")
+		det.SetAttr("frames", 560)
+		det.SetAttr("workers", 8)
+		for _, name := range []string{"synthesize", "range_fft", "point_cloud", "cluster", "spotlight"} {
+			det.StartChild(name).Add(time.Millisecond)
+		}
+		det.End()
+		root.StartChild("decode").End()
+		root.End()
+		root.Release()
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("c", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", "", LogBuckets(1e-3, 100, 3))
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0015
+		for pb.Next() {
+			h.Observe(v)
+			v *= 1.1
+			if v > 50 {
+				v = 0.0015
+			}
+		}
+	})
+}

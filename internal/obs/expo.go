@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CounterSnap is one counter in a Snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a Snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Help  string  `json:"help,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// BucketSnap is one cumulative histogram bucket: Count observations <= LE.
+type BucketSnap struct {
+	LE    float64 `json:"le"` // +Inf encoded as JSON null by encoding/json rules is invalid, so use math.Inf handling below
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON encodes +Inf as the string "+Inf" (JSON has no infinities).
+func (b BucketSnap) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !math.IsInf(b.LE, 1) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+// HistogramSnap is one histogram in a Snapshot; buckets are cumulative.
+type HistogramSnap struct {
+	Name    string       `json:"name"`
+	Help    string       `json:"help,omitempty"`
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []BucketSnap `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by name so that
+// equal registry states serialize identically (golden-file friendly).
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Help: c.help, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Help: g.help, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnap{Name: name, Help: h.help, Count: h.Count(), Sum: h.Sum()}
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			hs.Buckets = append(hs.Buckets, BucketSnap{LE: b, Count: cum})
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		hs.Buckets = append(hs.Buckets, BucketSnap{LE: math.Inf(1), Count: cum})
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (text/plain; version=0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	for _, c := range s.Counters {
+		writeHeader(&b, c.Name, c.Help, "counter")
+		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		writeHeader(&b, g.Name, g.Help, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		writeHeader(&b, h.Name, h.Help, "histogram")
+		for _, bk := range h.Buckets {
+			le := "+Inf"
+			if !math.IsInf(bk.LE, 1) {
+				le = formatFloat(bk.LE)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.Name, le, bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.Snapshot())
+}
+
+func writeHeader(b *strings.Builder, name, help, kind string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, kind)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden exposition files")
+
+// goldenRegistry builds a deterministic registry state: fixed values, fixed
+// observation order, so both expositions are byte-stable.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("ros_frames_synthesized_total", "radar frames synthesized").Add(560)
+	r.Counter("ros_fft_calls_total", "fast-time FFTs run").Add(2240)
+	r.Gauge("ros_workers", "resolved worker count").Set(8)
+	h := r.Histogram("ros_read_wall_seconds", "end-to-end wall time of one pass",
+		LogBuckets(0.01, 1, 1))
+	for _, v := range []float64{0.005, 0.03, 0.04, 0.25, 2} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/obs -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Spot-check the format invariants independent of the golden bytes.
+	for _, want := range []string{
+		"# TYPE ros_frames_synthesized_total counter",
+		"ros_frames_synthesized_total 560",
+		"# TYPE ros_read_wall_seconds histogram",
+		`ros_read_wall_seconds_bucket{le="+Inf"} 5`,
+		"ros_read_wall_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "metrics.prom", b.Bytes())
+}
+
+func TestJSONGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json", b.Bytes())
+}

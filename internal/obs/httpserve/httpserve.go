@@ -1,0 +1,90 @@
+// Package httpserve exposes an obs.Registry over HTTP for live inspection of
+// long sweeps: Prometheus text at /metrics, the JSON snapshot at
+// /metrics.json, expvar at /debug/vars, and the stdlib pprof profiler under
+// /debug/pprof/. rosbench -serve is the canonical user.
+package httpserve
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"ros/internal/obs"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on
+// duplicate names, and tests start several servers per process.
+var publishOnce sync.Once
+
+// Mux returns the observability mux for the given registry.
+func Mux(reg *obs.Registry) *http.ServeMux {
+	if reg == nil {
+		reg = obs.Default
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("ros_metrics", expvar.Func(func() any { return obs.Default.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "ros observability endpoints:\n"+
+			"  /metrics       Prometheus text exposition\n"+
+			"  /metrics.json  JSON snapshot\n"+
+			"  /debug/vars    expvar (includes ros_metrics)\n"+
+			"  /debug/pprof/  runtime profiles\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			obs.Logger().Error("metrics exposition failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			obs.Logger().Error("metrics JSON exposition failed", "err", err)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (e.g. "localhost:6060", or ":0" for an ephemeral
+// port) and serves the observability mux in a background goroutine.
+func Start(addr string, reg *obs.Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpserve: %w", err)
+	}
+	srv := &http.Server{Handler: Mux(reg)}
+	go func() {
+		if err := srv.Serve(lis); err != nil && err != http.ErrServerClosed {
+			obs.Logger().Error("observability server stopped", "err", err)
+		}
+	}()
+	obs.Logger().Info("observability server listening", "addr", lis.Addr().String())
+	return &Server{lis: lis, srv: srv}, nil
+}
+
+// Addr returns the bound address (resolves ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,90 @@
+package httpserve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ros/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("ros_test_total", "test counter").Add(7)
+	srv, err := Start("localhost:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "ros_test_total 7") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+	if ct, _ := get(t, base+"/metrics.json"); ct != http.StatusOK {
+		t.Errorf("/metrics.json status %d", ct)
+	}
+	code, body = get(t, base+"/metrics.json")
+	if !strings.Contains(body, `"ros_test_total"`) {
+		t.Errorf("/metrics.json missing counter: %s", body)
+	}
+
+	// expvar always carries cmdline/memstats plus the published Default
+	// registry snapshot.
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "memstats") ||
+		!strings.Contains(body, "ros_metrics") {
+		t.Errorf("/debug/vars = %d, body %.200s", code, body)
+	}
+
+	code, body = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+	code, body = get(t, base+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine profile") {
+		t.Errorf("/debug/pprof/goroutine = %d, body %.100s", code, body)
+	}
+
+	code, body = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d, body %.100s", code, body)
+	}
+	if code, _ = get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+// TestStartTwice ensures the expvar publication does not panic when several
+// servers run in one process.
+func TestStartTwice(t *testing.T) {
+	a, err := Start("localhost:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Start("localhost:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.Addr() == b.Addr() {
+		t.Error("two servers share an address")
+	}
+}

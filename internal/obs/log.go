@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// The package logger defaults to a handler whose Enabled always reports
+// false, so library code can log unconditionally (slog checks Enabled before
+// building the record) and silent production paths stay silent until a
+// binary or test opts in with SetLogger.
+var logger atomic.Pointer[slog.Logger]
+
+func init() { logger.Store(slog.New(discardHandler{})) }
+
+// Logger returns the process-wide structured logger.
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the process-wide logger and returns the previous one,
+// so tests can restore it: defer obs.SetLogger(obs.SetLogger(testLogger)).
+// A nil l resets to the discarding default.
+func SetLogger(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		l = slog.New(discardHandler{})
+	}
+	return logger.Swap(l)
+}
+
+// NewTextLogger builds a slog text logger at the given level, for wiring
+// into SetLogger from command-line flags.
+func NewTextLogger(w io.Writer, level slog.Level) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// ParseLevel maps a flag string to a slog level: "debug", "info", "warn",
+// "error", or "off" (the discarding default). Unknown strings report ok =
+// false.
+func ParseLevel(s string) (level slog.Level, off, ok bool) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, false, true
+	case "info":
+		return slog.LevelInfo, false, true
+	case "warn", "warning":
+		return slog.LevelWarn, false, true
+	case "error":
+		return slog.LevelError, false, true
+	case "off", "none", "":
+		return 0, true, true
+	}
+	return 0, false, false
+}
+
+// discardHandler drops everything before any record is built.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

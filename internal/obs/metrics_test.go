@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c", "ignored") != c {
+		t.Error("Counter is not get-or-create")
+	}
+	g := r.Gauge("g", "help")
+	g.Set(2.5)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Errorf("gauge = %v, want -1.25", got)
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("name", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter did not panic")
+		}
+	}()
+	r.Gauge("name", "")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 10, 100})
+	// Buckets are cumulative with <= bounds: a value equal to a bound lands
+	// in that bound's bucket.
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	snap := findHist(t, r, "h")
+	wantLE := []float64{1, 10, 100, math.Inf(1)}
+	wantCum := []int64{2, 4, 5, 6}
+	if len(snap.Buckets) != len(wantLE) {
+		t.Fatalf("got %d buckets, want %d", len(snap.Buckets), len(wantLE))
+	}
+	for i, b := range snap.Buckets {
+		if b.LE != wantLE[i] || b.Count != wantCum[i] {
+			t.Errorf("bucket %d = {le %v, n %d}, want {le %v, n %d}",
+				i, b.LE, b.Count, wantLE[i], wantCum[i])
+		}
+	}
+	if snap.Count != 6 {
+		t.Errorf("count = %d, want 6", snap.Count)
+	}
+	if got, want := snap.Sum, 0.5+1+5+10+50+1000; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func findHist(t *testing.T, r *Registry, name string) HistogramSnap {
+	t.Helper()
+	for _, h := range r.Snapshot().Histograms {
+		if h.Name == name {
+			return h
+		}
+	}
+	t.Fatalf("histogram %q not in snapshot", name)
+	return HistogramSnap{}
+}
+
+func TestLogBuckets(t *testing.T) {
+	got := LogBuckets(0.001, 1, 1)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("LogBuckets = %v, want %v", got, want)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if n := len(LogBuckets(1e-3, 100, 3)); n != 16 {
+		t.Errorf("3/decade over 5 decades = %d bounds, want 16", n)
+	}
+}
+
+func TestLinearBuckets(t *testing.T) {
+	got := LinearBuckets(-10, 5, 4)
+	want := []float64{-10, -5, 0, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRegistryConcurrent exercises handle creation and observation from many
+// goroutines; run with -race (make ci does).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, iters = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c", "").Inc()
+				r.Gauge("g", "").Set(float64(i))
+				r.Histogram("h", "", []float64{1, 10}).Observe(float64(i % 20))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", "").Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	h := findHist(t, r, "h")
+	if h.Count != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*iters)
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"time"
 
 	"ros/internal/beamshape"
 	"ros/internal/coding"
@@ -17,10 +16,35 @@ import (
 	"ros/internal/dsp"
 	"ros/internal/em"
 	"ros/internal/geom"
+	"ros/internal/obs"
 	"ros/internal/radar"
 	"ros/internal/scene"
 	"ros/internal/stack"
 	"ros/internal/track"
+)
+
+// SpanRead is the root span of one drive-by pass; SpanDecode times the
+// spectral decoder. The other stages live in the adopted detect.SpanRun
+// subtree.
+const (
+	SpanRead   = "read"
+	SpanDecode = "decode"
+)
+
+// Pass-level metrics on the Default registry, one observation per pass.
+var (
+	mReads = obs.Default.Counter("ros_reads_total",
+		"drive-by passes run")
+	mDetected = obs.Default.Counter("ros_reads_detected_total",
+		"passes whose tag was detected and classified")
+	mUndecodable = obs.Default.Counter("ros_reads_undecodable_total",
+		"passes whose detected tag failed spectral decoding")
+	hWall = obs.Default.Histogram("ros_read_wall_seconds",
+		"end-to-end wall time of one pass", obs.LogBuckets(1e-3, 100, 3))
+	hSNR = obs.Default.Histogram("ros_read_snr_db",
+		"decoding SNR of detected passes (dB)", obs.LinearBuckets(-10, 5, 13))
+	hBER = obs.Default.Histogram("ros_read_ber",
+		"OOK bit error rate implied by the decoding SNR", obs.LogBuckets(1e-12, 1, 1))
 )
 
 // DriveBy configures one pass.
@@ -86,8 +110,9 @@ type DriveBy struct {
 	Workers int
 }
 
-// Stats counts the work done by one pass. Per-stage frame-loop times are
-// summed across workers (CPU time); WallNS is the end-to-end wall clock.
+// Stats counts the work done by one pass. It is a flat view derived from
+// the pass's span tree (Outcome.Span); per-stage frame-loop times are summed
+// across workers (CPU time), WallNS is the end-to-end wall clock.
 type Stats struct {
 	// Frames is the number of radar frames synthesized (two polarization
 	// modes per pose).
@@ -132,8 +157,32 @@ type Outcome struct {
 	Detection *detect.Result
 	// Decode carries the decoder result (nil when undetected).
 	Decode *coding.Result
-	// Stats counts the pass's work (frames, FFTs, per-stage time).
+	// Span is the pass's trace tree: a "read" root adopting the "detect"
+	// subtree plus a "decode" stage. Callers that do not retain it may
+	// Release it to return the nodes to the span pool.
+	Span *obs.Span
+	// Stats counts the pass's work (a flat view of Span).
 	Stats Stats
+}
+
+// StatsFromSpan flattens a pass span tree into the legacy Stats view.
+func StatsFromSpan(root *obs.Span) Stats {
+	if root == nil {
+		return Stats{}
+	}
+	det := detect.StatsFromSpan(root.Child(detect.SpanRun))
+	return Stats{
+		Frames:       det.Frames,
+		FFTCalls:     det.FFTCalls,
+		Workers:      det.Workers,
+		SynthesizeNS: det.SynthesizeNS,
+		RangeFFTNS:   det.RangeFFTNS,
+		PointCloudNS: det.PointCloudNS,
+		ClusterNS:    det.ClusterNS,
+		SpotlightNS:  det.SpotlightNS,
+		DecodeNS:     root.ChildDuration(SpanDecode).Nanoseconds(),
+		WallNS:       root.Wall().Nanoseconds(),
+	}
 }
 
 // defaults fills zero-valued fields.
@@ -168,7 +217,15 @@ func buildStack(modules int, shaped bool) *stack.Stack {
 
 // Run executes the pass.
 func Run(cfg DriveBy) (*Outcome, error) {
-	wallStart := time.Now()
+	root := obs.StartSpan(SpanRead)
+	// Release the root span on paths that never hand it to an Outcome, so
+	// configuration errors do not strand pool nodes.
+	adopted := false
+	defer func() {
+		if !adopted {
+			root.Release()
+		}
+	}()
 	cfg.defaults()
 	// The root rng drives the sequential setup (clutter geometry, platform
 	// vibration, tracking drift); the per-frame noise streams inside the
@@ -293,22 +350,36 @@ func Run(cfg DriveBy) (*Outcome, error) {
 	vel := geom.Vec3{X: cfg.Speed}
 	res, err := p.Run(sc, truth, est, vel, cfg.Seed)
 	if err != nil {
+		obs.Logger().Error("sim: pipeline failed",
+			"bits", cfg.Bits, "seed", cfg.Seed, "err", err)
 		return nil, err
 	}
+	root.Adopt(res.Span)
+	adopted = true
 
 	out := &Outcome{Detection: res, SNRdB: math.Inf(-1), BER: 0.5, MedianRSSdBm: math.Inf(-1)}
-	out.Stats = Stats{
-		Frames:       res.Stats.Frames,
-		FFTCalls:     res.Stats.FFTCalls,
-		Workers:      res.Stats.Workers,
-		SynthesizeNS: res.Stats.SynthesizeNS,
-		RangeFFTNS:   res.Stats.RangeFFTNS,
-		PointCloudNS: res.Stats.PointCloudNS,
-		ClusterNS:    res.Stats.ClusterNS,
-		SpotlightNS:  res.Stats.SpotlightNS,
-	}
-	defer func() { out.Stats.WallNS = time.Since(wallStart).Nanoseconds() }()
+	// Close the span tree and derive the flat Stats view on every return
+	// path below; the pass-level metrics observe the same numbers.
+	defer func() {
+		root.End()
+		root.SetAttr("detected", out.Detected)
+		out.Span = root
+		out.Stats = StatsFromSpan(root)
+		mReads.Inc()
+		hWall.Observe(float64(out.Stats.WallNS) / 1e9)
+		if out.Detected {
+			mDetected.Inc()
+			if !math.IsInf(out.SNRdB, -1) {
+				hSNR.Observe(out.SNRdB)
+				hBER.Observe(out.BER)
+			}
+		}
+	}()
 	if res.TagIndex < 0 || len(res.TagU) < 16 {
+		if res.TagIndex >= 0 {
+			obs.Logger().Info("sim: tag found but too few RCS samples to decode",
+				"samples", len(res.TagU), "seed", cfg.Seed)
+		}
 		return out, nil
 	}
 	out.Detected = true
@@ -332,11 +403,17 @@ func Run(cfg DriveBy) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	decodeStart := time.Now()
+	decSp := root.StartChild(SpanDecode)
 	decoded, err := dec.Decode(res.TagU, res.TagRSS)
-	out.Stats.DecodeNS = time.Since(decodeStart).Nanoseconds()
+	decSp.End()
 	if err != nil {
-		return out, nil // detected but undecodable: report as such
+		// Detected but undecodable: report as such — but no longer
+		// silently (this was a swallowed-error path before the obs layer).
+		mUndecodable.Inc()
+		obs.Logger().Warn("sim: tag detected but undecodable",
+			"bits", cfg.Bits, "seed", cfg.Seed,
+			"samples", len(res.TagU), "err", err)
+		return out, nil
 	}
 	out.Decode = decoded
 	out.Bits = coding.BitsString(decoded.Bits)

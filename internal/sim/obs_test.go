@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"bytes"
+	"log/slog"
+	"testing"
+
+	"ros/internal/detect"
+	"ros/internal/obs"
+)
+
+// TestRunSpanTree checks that a pass produces the documented trace shape and
+// that the legacy Stats view is exactly the flattened span tree.
+func TestRunSpanTree(t *testing.T) {
+	out, err := Run(DriveBy{BeamShaped: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := out.Span
+	if root == nil || root.Name() != SpanRead {
+		t.Fatalf("missing %q root span", SpanRead)
+	}
+	det := root.Child(detect.SpanRun)
+	if det == nil {
+		t.Fatalf("root has no %q child", detect.SpanRun)
+	}
+	for _, stage := range []string{
+		detect.SpanSynthesize, detect.SpanRangeFFT, detect.SpanPointCloud,
+		detect.SpanCluster, detect.SpanSpotlight,
+	} {
+		if det.Child(stage) == nil {
+			t.Errorf("detect span missing stage %q", stage)
+		}
+	}
+	if out.Detected && root.Child(SpanDecode) == nil {
+		t.Error("detected pass has no decode span")
+	}
+	if got := StatsFromSpan(root); got != out.Stats {
+		t.Errorf("Stats diverged from span view:\n got %+v\nwant %+v", got, out.Stats)
+	}
+	if out.Stats.Frames == 0 || out.Stats.SynthesizeNS <= 0 || out.Stats.WallNS <= 0 {
+		t.Errorf("span-derived stats look empty: %+v", out.Stats)
+	}
+	if det.IntAttr("fft_size") == 0 {
+		t.Error("detect span has no fft_size attribute")
+	}
+}
+
+// TestRunLogsUndecodable checks the previously-silent path: logging can be
+// redirected per test and captures pipeline context.
+func TestObsLoggerSwap(t *testing.T) {
+	var buf bytes.Buffer
+	prev := obs.SetLogger(slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug})))
+	defer obs.SetLogger(prev)
+	if _, err := Run(DriveBy{BeamShaped: true, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("detect: run complete")) {
+		t.Errorf("expected pipeline debug log, got:\n%s", buf.String())
+	}
+}

@@ -7,18 +7,31 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"ros/internal/obs"
+)
+
+// Pool metrics: points evaluated and points that failed, on the Default
+// registry (incremented per batch, not per point).
+var (
+	mPoints = obs.Default.Counter("ros_sweep_points_total",
+		"work items evaluated on the sweep pool")
+	mPointErrors = obs.Default.Counter("ros_sweep_point_errors_total",
+		"work items that returned an error or panicked")
 )
 
 // Run evaluates fn for every index 0..n-1 on a worker pool and returns the
-// results in order. A worker count of 0 uses GOMAXPROCS. The first error
-// cancels nothing (remaining points still run) but is returned. A panic in
-// fn is recovered and reported as an error tagged with the point index, so
-// one bad point cannot take down the whole process from an anonymous
-// goroutine.
+// results in order. A worker count of 0 uses GOMAXPROCS. An error cancels
+// nothing (remaining points still run); every failed point is logged with
+// its index and the failures are returned joined (errors.Is still matches
+// each cause), so no point error is silently dropped. A panic in fn is
+// recovered and reported as an error tagged with the point index, so one
+// bad point cannot take down the whole process from an anonymous goroutine.
 func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("sweep: negative point count %d", n)
@@ -64,10 +77,17 @@ func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	close(idx)
 	wg.Wait()
 
-	for _, err := range errs {
+	mPoints.Add(int64(n))
+	var failed []error
+	for i, err := range errs {
 		if err != nil {
-			return out, err
+			obs.Logger().Error("sweep: point failed", "point", i, "of", n, "err", err)
+			failed = append(failed, fmt.Errorf("point %d: %w", i, err))
 		}
+	}
+	if len(failed) > 0 {
+		mPointErrors.Add(int64(len(failed)))
+		return out, errors.Join(failed...)
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ros/internal/em"
+	"ros/internal/obs"
 	"ros/internal/radar"
 	"ros/internal/sim"
 	"ros/internal/trace"
@@ -155,6 +156,7 @@ func (r *Reader) Read(t *Tag, opts ReadOptions) (*Reading, error) {
 	}
 	out, err := sim.Run(cfg)
 	if err != nil {
+		obs.Logger().Error("ros: read failed", "seed", opts.Seed, "err", err)
 		return nil, err
 	}
 	reading := &Reading{
@@ -187,6 +189,19 @@ func (r *Reader) Read(t *Tag, opts ReadOptions) (*Reading, error) {
 			RSS:          out.Detection.TagRSS,
 			Range:        out.Detection.TagRange,
 		}
+	} else if out.Detected {
+		// A detected tag with under 8 RCS samples silently produced a
+		// Reading without a capture before the obs layer; say so.
+		obs.Logger().Info("ros: too few RCS samples to archive a capture",
+			"samples", len(out.Detection.TagU), "seed", opts.Seed)
 	}
+	obs.Logger().Debug("ros: read complete",
+		"detected", reading.Detected, "bits", reading.Bits,
+		"snr_db", reading.SNRdB, "wall", reading.Stats.Wall)
+	// The Reading exposes the flat ReadStats view only, so the span tree
+	// can go back to the pool; drop the Detection's alias into it first.
+	out.Detection.Span = nil
+	out.Span.Release()
+	out.Span = nil
 	return reading, nil
 }
