@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-trend
+# Hot-path micro-benchmarks compared by bench-compare and smoke-tested in CI.
+BENCH_HOT := 'BenchmarkEndToEndRead$$|BenchmarkSpotlight$$|BenchmarkDBSCAN|BenchmarkAoASpectrum$$'
+BENCH_COUNT ?= 5
+
+.PHONY: ci fmt vet build test race bench bench-trend bench-baseline bench-compare bench-smoke
 
 ci: fmt vet build race
 
@@ -31,3 +35,31 @@ bench:
 # span timings) to the checked-in trend file. Run before/after perf PRs.
 bench-trend:
 	$(GO) run ./cmd/rosbench -json -trend BENCH_trend.jsonl
+
+# Save the hot-path micro-benchmarks as the comparison baseline (run this on
+# the commit you want to compare against, e.g. before a perf change).
+bench-baseline:
+	$(GO) test -run xxx -bench $(BENCH_HOT) -benchmem -count=$(BENCH_COUNT) ./... > bench-baseline.txt
+	@echo "bench-compare baseline saved to bench-baseline.txt"
+
+# Re-run the hot-path micro-benchmarks and compare against the saved
+# baseline with benchstat when it is installed (golang.org/x/perf), falling
+# back to printing both runs side by side. Both output files are untracked.
+bench-compare:
+	$(GO) test -run xxx -bench $(BENCH_HOT) -benchmem -count=$(BENCH_COUNT) ./... > bench-new.txt
+	@if [ ! -f bench-baseline.txt ]; then \
+		cp bench-new.txt bench-baseline.txt; \
+		echo "bench-compare: no baseline found; saved this run as bench-baseline.txt"; \
+	elif command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-baseline.txt bench-new.txt; \
+	else \
+		echo "bench-compare: benchstat not installed; baseline vs new:"; \
+		grep '^Benchmark' bench-baseline.txt; \
+		echo "---"; \
+		grep '^Benchmark' bench-new.txt; \
+	fi
+
+# One-iteration smoke run of the hot-path micro-benchmarks (CI runs this so a
+# benchmark that panics or regresses to non-termination fails the build).
+bench-smoke:
+	$(GO) test -run xxx -bench $(BENCH_HOT) -benchtime=1x ./...

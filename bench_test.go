@@ -123,6 +123,32 @@ func BenchmarkRangeProfile(b *testing.B) {
 	}
 }
 
+func BenchmarkAoASpectrum(b *testing.B) {
+	cfg := radar.TI1443()
+	rng := rand.New(rand.NewSource(5))
+	frame := cfg.Synthesize([]radar.Scatterer{{Range: 4, Azimuth: 0.2, Amplitude: 1e-4}}, rng)
+	rp := cfg.RangeProfile(frame)
+	bin := cfg.BinForRange(4)
+	angles := cfg.ScanAngles()
+	spec := make([]float64, len(angles))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.AoASpectrumInto(spec, rp, bin, angles)
+	}
+}
+
+func BenchmarkBeamPower(b *testing.B) {
+	cfg := radar.TI1443()
+	rng := rand.New(rand.NewSource(6))
+	frame := cfg.Synthesize([]radar.Scatterer{{Range: 4, Azimuth: 0.2, Amplitude: 1e-4}}, rng)
+	rp := cfg.RangeProfile(frame)
+	bin := cfg.BinForRange(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.BeamPower(rp, bin, 0.2)
+	}
+}
+
 func BenchmarkDBSCAN(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	pts := make([]cluster.Point, 800)

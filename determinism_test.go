@@ -1,9 +1,11 @@
 package ros
 
-// Determinism regression tests for the parallel per-frame radar engine:
-// a read's outcome must depend only on ReadOptions.Seed — never on the
-// frame-loop worker count or GOMAXPROCS — because every frame draws its
-// noise from a private sub-stream derived from (seed, frame index).
+// Determinism regression tests for the parallel radar engine: a read's
+// outcome must depend only on ReadOptions.Seed — never on the worker count
+// or GOMAXPROCS — because every frame draws its noise from a private
+// sub-stream derived from (seed, frame index), and the parallel spotlight
+// passes (object classification and decode-mode RCS sampling) draw no
+// randomness and collect results in index order.
 
 import (
 	"os"
@@ -39,8 +41,10 @@ func readCapture(t *testing.T, workers int) (*Reading, []byte) {
 }
 
 func TestReadIdenticalAcrossWorkerCounts(t *testing.T) {
+	// Worker counts per the spotlight-parallelism acceptance criteria:
+	// 1 (the base), 4, and GOMAXPROCS, plus an oversubscribed 8.
 	base, baseCapture := readCapture(t, 1)
-	for _, workers := range []int{2, 8} {
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 8} {
 		got, capture := readCapture(t, workers)
 		if got.Bits != base.Bits || got.SNRdB != base.SNRdB ||
 			got.RSSLossDB != base.RSSLossDB || got.MedianRSSdBm != base.MedianRSSdBm {

@@ -22,40 +22,40 @@ type Point struct {
 
 // DBSCAN clusters points with neighbourhood radius eps and core threshold
 // minPts. It returns one label per point: 0..k-1 for cluster membership or
-// Noise. The classic algorithm from the paper's reference [15] is used, with
-// a brute-force neighbourhood query (point clouds here are a few thousand
-// points at most).
+// Noise. The classic algorithm from the paper's reference [15] is used. The
+// neighbourhood query runs against an eps-sized uniform grid index — a point
+// only needs its own and the 8 adjacent cells — so a whole-pass merged cloud
+// clusters in O(n) expected instead of the O(n^2) a brute-force scan costs.
+// Labels are independent of the order neighbours are enumerated in (cluster
+// expansion reaches the same density-connected set either way), so the grid
+// returns exactly the labels of the brute-force reference — a property the
+// package tests check.
 func DBSCAN(points []Point, eps float64, minPts int) []int {
-	n := len(points)
-	labels := make([]int, n)
+	labels := make([]int, len(points))
 	for i := range labels {
 		labels[i] = Noise
 	}
-	if n == 0 || eps <= 0 || minPts < 1 {
+	if len(points) == 0 || eps <= 0 || minPts < 1 {
 		return labels
 	}
-	eps2 := eps * eps
-	visited := make([]bool, n)
+	g := newGridIndex(points, eps)
+	return dbscan(points, minPts, labels, g.neighbours)
+}
+
+// dbscan is the expansion loop over an arbitrary neighbourhood query.
+// neighbours must append every index j (including i itself) with
+// dist(i, j) <= eps to buf and return it; buf comes in with length 0 so
+// queries can reuse its capacity.
+func dbscan(points []Point, minPts int, labels []int, neighbours func(i int, buf []int) []int) []int {
+	visited := make([]bool, len(points))
 	next := 0
-
-	neighbours := func(i int) []int {
-		var out []int
-		pi := points[i].Pos
-		for j := range points {
-			d := pi.Sub(points[j].Pos)
-			if d.X*d.X+d.Y*d.Y <= eps2 {
-				out = append(out, j)
-			}
-		}
-		return out
-	}
-
-	for i := 0; i < n; i++ {
+	var seeds, buf []int
+	for i := range points {
 		if visited[i] {
 			continue
 		}
 		visited[i] = true
-		seeds := neighbours(i)
+		seeds = neighbours(i, seeds[:0])
 		if len(seeds) < minPts {
 			continue // noise (may later be claimed as a border point)
 		}
@@ -66,9 +66,9 @@ func DBSCAN(points []Point, eps float64, minPts int) []int {
 			j := seeds[k]
 			if !visited[j] {
 				visited[j] = true
-				more := neighbours(j)
-				if len(more) >= minPts {
-					seeds = append(seeds, more...)
+				buf = neighbours(j, buf[:0])
+				if len(buf) >= minPts {
+					seeds = append(seeds, buf...)
 				}
 			}
 			if labels[j] == Noise {
@@ -77,6 +77,96 @@ func DBSCAN(points []Point, eps float64, minPts int) []int {
 		}
 	}
 	return labels
+}
+
+// gridIndex is a uniform grid over the point cloud with cell size eps: every
+// neighbour of a point lies in its own or one of the 8 adjacent cells. Cells
+// are identified by packed integer coordinates in a map (the occupied-cell
+// count is at most n, so memory stays O(n) no matter how sparse the cloud),
+// and member indices live in one CSR-style array grouped by cell.
+type gridIndex struct {
+	points []Point
+	eps2   float64
+	inv    float64 // 1/eps
+	cells  map[uint64]int32
+	start  []int32 // CSR offsets per compact cell id, len(cells)+1
+	idx    []int32 // point indices grouped by cell
+}
+
+// cellKey packs signed cell coordinates into one map key. A coordinate
+// collision (beyond 2^31 cells apart) only merges far-apart buckets, adding
+// candidates the exact distance test filters out — never missing one.
+func cellKey(ix, iy int64) uint64 {
+	return uint64(ix)<<32 ^ (uint64(iy) & 0xffffffff)
+}
+
+func newGridIndex(points []Point, eps float64) *gridIndex {
+	n := len(points)
+	g := &gridIndex{points: points, eps2: eps * eps, inv: 1 / eps}
+	g.cells = make(map[uint64]int32, n/4+1)
+	cellOf := make([]int32, n)
+	var counts []int32
+	for i, p := range points {
+		k := cellKey(g.cellCoords(p.Pos))
+		id, ok := g.cells[k]
+		if !ok {
+			id = int32(len(counts))
+			g.cells[k] = id
+			counts = append(counts, 0)
+		}
+		cellOf[i] = id
+		counts[id]++
+	}
+	g.start = make([]int32, len(counts)+1)
+	for c, cnt := range counts {
+		g.start[c+1] = g.start[c] + cnt
+	}
+	g.idx = make([]int32, n)
+	fill := append([]int32(nil), g.start[:len(counts)]...)
+	for i := range points {
+		c := cellOf[i]
+		g.idx[fill[c]] = int32(i)
+		fill[c]++
+	}
+	return g
+}
+
+func (g *gridIndex) cellCoords(p geom.Vec2) (int64, int64) {
+	return int64(math.Floor(p.X * g.inv)), int64(math.Floor(p.Y * g.inv))
+}
+
+// neighbours appends every point within eps of point i (i included) to out.
+func (g *gridIndex) neighbours(i int, out []int) []int {
+	p := g.points[i].Pos
+	ix, iy := g.cellCoords(p)
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			id, ok := g.cells[cellKey(ix+dx, iy+dy)]
+			if !ok {
+				continue
+			}
+			for _, j := range g.idx[g.start[id]:g.start[id+1]] {
+				d := p.Sub(g.points[j].Pos)
+				if d.X*d.X+d.Y*d.Y <= g.eps2 {
+					out = append(out, int(j))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// bruteNeighbours is the O(n^2) reference query the grid index replaced,
+// kept for the equivalence property tests.
+func bruteNeighbours(points []Point, eps2 float64, i int, out []int) []int {
+	pi := points[i].Pos
+	for j := range points {
+		d := pi.Sub(points[j].Pos)
+		if d.X*d.X+d.Y*d.Y <= eps2 {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 // Stats summarizes one cluster.

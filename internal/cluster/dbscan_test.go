@@ -3,6 +3,7 @@ package cluster
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -133,6 +134,108 @@ func TestDBSCANLabelInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// bruteDBSCAN runs the expansion loop over the O(n^2) reference query the
+// grid index replaced; the equivalence tests compare against it.
+func bruteDBSCAN(points []Point, eps float64, minPts int) []int {
+	labels := make([]int, len(points))
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if len(points) == 0 || eps <= 0 || minPts < 1 {
+		return labels
+	}
+	eps2 := eps * eps
+	return dbscan(points, minPts, labels, func(i int, buf []int) []int {
+		return bruteNeighbours(points, eps2, i, buf)
+	})
+}
+
+func TestDBSCANGridMatchesBruteForce(t *testing.T) {
+	// Property: the grid-indexed neighbourhood query yields exactly the
+	// labels of the brute-force reference on random clouds — blobs of
+	// varying density, uniform noise, random eps and minPts.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var pts []Point
+		nBlobs := 1 + rng.Intn(4)
+		for b := 0; b < nBlobs; b++ {
+			c := geom.Vec2{X: rng.Float64()*8 - 4, Y: rng.Float64()*8 - 4}
+			pts = append(pts, blob(rng, c, 0.05+rng.Float64()*0.4, 5+rng.Intn(40))...)
+		}
+		for i := rng.Intn(25); i > 0; i-- {
+			pts = append(pts, Point{Pos: geom.Vec2{X: rng.Float64()*40 - 20, Y: rng.Float64()*40 - 20}, Weight: 1})
+		}
+		eps := 0.1 + rng.Float64()*0.6
+		minPts := 1 + rng.Intn(6)
+		return slices.Equal(DBSCAN(pts, eps, minPts), bruteDBSCAN(pts, eps, minPts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBSCANEpsBoundary(t *testing.T) {
+	// Points exactly eps apart are neighbours (the <= in the distance
+	// test); they land in adjacent grid cells, so the 3x3 cell walk must
+	// keep the boundary pair. Exactly representable coordinates make the
+	// distances exact in floating point.
+	pts := []Point{
+		{Pos: geom.Vec2{X: 0}}, {Pos: geom.Vec2{X: 1}}, {Pos: geom.Vec2{X: 2}},
+		{Pos: geom.Vec2{X: 3.5}}, // beyond eps of the chain: noise
+	}
+	labels := DBSCAN(pts, 1, 3)
+	if want := bruteDBSCAN(pts, 1, 3); !slices.Equal(labels, want) {
+		t.Fatalf("grid labels %v != brute-force %v", labels, want)
+	}
+	for i := 0; i < 3; i++ {
+		if labels[i] != 0 {
+			t.Errorf("chain point %d labelled %d, want 0", i, labels[i])
+		}
+	}
+	if labels[3] != Noise {
+		t.Errorf("distant point labelled %d, want Noise", labels[3])
+	}
+}
+
+func TestDBSCANGridNegativeAndSpreadCoords(t *testing.T) {
+	// Negative coordinates exercise the signed cell packing; a far-flung
+	// cloud exercises the sparse map (no dense allocation by extent).
+	rng := rand.New(rand.NewSource(9))
+	pts := append(blob(rng, geom.Vec2{X: -1e6, Y: -1e6}, 0.05, 30),
+		blob(rng, geom.Vec2{X: 1e6, Y: 1e6}, 0.05, 30)...)
+	labels := DBSCAN(pts, 0.3, 4)
+	if want := bruteDBSCAN(pts, 0.3, 4); !slices.Equal(labels, want) {
+		t.Fatalf("grid labels diverge from brute force on spread cloud")
+	}
+	if labels[0] == Noise || labels[30] == Noise || labels[0] == labels[30] {
+		t.Errorf("far-apart blobs mislabelled: %d vs %d", labels[0], labels[30])
+	}
+}
+
+func BenchmarkDBSCANGrid(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pts := make([]Point, 800)
+	for i := range pts {
+		pts[i] = Point{Pos: geom.Vec2{X: rng.Float64() * 10, Y: rng.Float64() * 2}, Weight: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DBSCAN(pts, 0.25, 10)
+	}
+}
+
+func BenchmarkDBSCANBrute(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pts := make([]Point, 800)
+	for i := range pts {
+		pts[i] = Point{Pos: geom.Vec2{X: rng.Float64() * 10, Y: rng.Float64() * 2}, Weight: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bruteDBSCAN(pts, 0.25, 10)
 	}
 }
 

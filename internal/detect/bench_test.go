@@ -1,0 +1,71 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+
+	"ros/internal/cluster"
+	"ros/internal/geom"
+	"ros/internal/obs"
+	"ros/internal/radar"
+)
+
+// spotlightFixture synthesizes one drive-by pass and clusters it, returning
+// everything the spotlight stage consumes. The returned profiles stay pooled
+// for the benchmark's lifetime (never released), which is fine for a test
+// process.
+func spotlightFixture(b *testing.B) (*Pipeline, []frameData, []cluster.Stats, []geom.Vec3) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	sc := buildScene(b, "1111", true, rng)
+	p := NewPipeline(radar.TI1443())
+	truth := passPositions(3, 240)
+	sp := obs.StartSpan("bench")
+	frames, err := p.synthesizeFrames(sc, truth, geom.Vec3{X: 2}, 1, sp)
+	sp.Release()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var merged []cluster.Point
+	for _, fd := range frames {
+		merged = append(merged, fd.points...)
+	}
+	labels := cluster.DBSCAN(merged, p.ClusterEps, p.ClusterMinPts)
+	stats := cluster.Summarize(merged, labels, p.Radar.RangeResolution())
+	var cands []cluster.Stats
+	for _, st := range stats {
+		if st.Count >= p.MinClusterFrames {
+			cands = append(cands, st)
+		}
+	}
+	if len(cands) == 0 {
+		b.Fatal("no clusters survived the density filter")
+	}
+	return p, frames, cands, truth
+}
+
+// BenchmarkSpotlight measures the per-object classification kernel (both
+// polarization modes spotlighted across the whole pass per object) — the
+// sequential-tail stage the parallel spotlight pass distributes.
+func BenchmarkSpotlight(b *testing.B) {
+	p, frames, cands, truth := spotlightFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, st := range cands {
+			p.classifyObject(st, frames, truth, 14.2, 0.18)
+		}
+	}
+}
+
+// BenchmarkTagSampling measures the pass-2 decode-mode RCS sampling kernel
+// for one full pass.
+func BenchmarkTagSampling(b *testing.B) {
+	p, frames, cands, truth := spotlightFixture(b)
+	tagPos := cands[0].Centroid
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range truth {
+			p.sampleTagFrame(frames[j].dec, truth[j], tagPos, 60)
+		}
+	}
+}

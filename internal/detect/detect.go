@@ -10,7 +10,10 @@
 // runs on the sweep worker pool. Every frame draws its randomness from a
 // private rand.Rand seeded with sweep.SubSeed(seed, frame), so a run's
 // output depends only on the seed and is byte-identical at any worker
-// count.
+// count. The spotlight passes (per-object classification and the decode-mode
+// RCS sampling) fan out on the same pool: objects and frames are independent
+// and draw no randomness, and results are collected in index order, so the
+// output stays byte-identical at any worker count there too.
 package detect
 
 import (
@@ -78,8 +81,9 @@ type Pipeline struct {
 	// within which the tag's RCS is sampled for decoding; default 60, the
 	// radar antenna FoV. Fig 17 sweeps it to truncate the angular view.
 	DecodeAzimuthCapDeg float64
-	// Workers is the worker count for the per-frame synthesis loop; 0 uses
-	// GOMAXPROCS. The output is identical at any worker count.
+	// Workers is the worker count for the per-frame synthesis loop and the
+	// spotlight passes; 0 uses GOMAXPROCS. The output is identical at any
+	// worker count.
 	Workers int
 	// Detection options for per-frame point clouds.
 	Detect radar.DetectOptions
@@ -92,7 +96,7 @@ func NewPipeline(cfg radar.Config) *Pipeline {
 		Radar:               cfg,
 		ClusterEps:          0.25,
 		ClusterMinPts:       10,
-		MinClusterFrames:    10,
+		MinClusterFrames:    25,
 		TagMaxRSSLossDB:     14.2,
 		TagMaxExtent:        0.18,
 		DecodeAzimuthCapDeg: 60,
@@ -134,7 +138,8 @@ type Stats struct {
 	SynthesizeNS, RangeFFTNS, PointCloudNS int64
 	// ClusterNS covers DBSCAN and cluster summarization; SpotlightNS
 	// covers the per-object beamforming passes (classification features
-	// and decode-mode RCS sampling).
+	// and decode-mode RCS sampling), summed across the spotlight workers
+	// like the per-frame stage times.
 	ClusterNS, SpotlightNS int64
 	// WallNS is the wall-clock duration of the whole run.
 	WallNS int64
@@ -195,6 +200,119 @@ type frameData struct {
 	points   []cluster.Point
 }
 
+// tagSample is the per-frame output of the parallel decode-mode RCS
+// sampling pass; ok marks frames where the tag was within the radar's view.
+type tagSample struct {
+	u, rss, r float64
+	ok        bool
+}
+
+// synthesizeFrames is pass 1 of Run: synthesize both polarization modes per
+// frame, keep the range profiles, and extract the detection-mode point cloud
+// in world coordinates. Frames are independent given their seed stream, so
+// the loop fans out on the sweep pool; per-stage times accumulate atomically
+// across workers in child spans of sp (Span.Add is one atomic add). The
+// returned profiles live in pooled buffers — the caller owns releasing them.
+func (p *Pipeline) synthesizeFrames(sc *scene.Scene, truth []geom.Vec3, vel geom.Vec3, seed int64, sp *obs.Span) ([]frameData, error) {
+	synthSp := sp.StartChild(SpanSynthesize)
+	rangeSp := sp.StartChild(SpanRangeFFT)
+	cloudSp := sp.StartChild(SpanPointCloud)
+	fe := p.Radar.FrontEnd
+	f := p.Radar.CenterFrequency
+	return sweep.Run(len(truth), p.Workers, func(i int) (frameData, error) {
+		rng := sweep.NewRand(seed, i)
+		t0 := time.Now()
+		detScat := sc.Scatterers(truth[i], vel, scene.ModeDetect, fe, f, rng)
+		decScat := sc.Scatterers(truth[i], vel, scene.ModeDecode, fe, f, rng)
+		detFrame := p.Radar.Synthesize(detScat, rng)
+		decFrame := p.Radar.Synthesize(decScat, rng)
+		t1 := time.Now()
+		fd := frameData{
+			det: p.Radar.RangeProfile(detFrame),
+			dec: p.Radar.RangeProfile(decFrame),
+		}
+		radar.ReleaseFrame(detFrame)
+		radar.ReleaseFrame(decFrame)
+		t2 := time.Now()
+
+		for _, d := range p.Radar.PointCloudFromProfile(fd.det, p.Detect) {
+			// Radar at y > 0 looks toward -y; a detection at (range, az)
+			// sits at radar + range*(sin az, -cos az).
+			world := truth[i].XY().Add(geom.Vec2{
+				X: d.Range * math.Sin(d.Azimuth),
+				Y: -d.Range * math.Cos(d.Azimuth),
+			})
+			fd.points = append(fd.points, cluster.Point{Pos: world, Weight: d.Power})
+		}
+		t3 := time.Now()
+		synthSp.Add(t1.Sub(t0))
+		rangeSp.Add(t2.Sub(t1))
+		cloudSp.Add(t3.Sub(t2))
+		return fd, nil
+	})
+}
+
+// classifyObject spotlights one cluster in both polarization modes across
+// the pass and fills in the two classification features of Fig 13. It draws
+// no randomness and touches only read-only state, so objects classify
+// concurrently on the sweep pool.
+func (p *Pipeline) classifyObject(st cluster.Stats, frames []frameData, truth []geom.Vec3, lossThresh, extThresh float64) ObjectReport {
+	report := ObjectReport{Centroid: st.Centroid, Extent: st.Extent, Points: st.Count}
+	// Subtract the expected beamformed noise power so weak decode-mode
+	// readings do not bias the loss feature low.
+	noise := 1.5 * p.Radar.NoisePerBin() / float64(p.Radar.NumRx)
+	var lossSamples, detSamples []float64
+	for i := range truth {
+		rel := st.Centroid.Sub(truth[i].XY())
+		r := rel.Norm()
+		az := math.Atan2(rel.X, -rel.Y)
+		if math.Abs(az) > geom.Rad(60) || r >= p.Radar.MaxRange() || r <= 4*p.Radar.RangeBinSize() {
+			continue
+		}
+		bin := p.Radar.BinForRange(r)
+		det := p.Radar.BeamPower(frames[i].det, bin, az) - noise
+		dec := p.Radar.BeamPower(frames[i].dec, bin, az) - noise
+		if det > 4*noise {
+			detSamples = append(detSamples, em.DBm(det))
+			if dec > 2*noise {
+				lossSamples = append(lossSamples, em.DB(det/dec))
+			}
+		}
+	}
+	if len(lossSamples) > 0 {
+		report.RSSLossDB = dsp.Median(lossSamples)
+	} else {
+		report.RSSLossDB = math.Inf(1)
+	}
+	if len(detSamples) > 0 {
+		report.MedianRSSDetectDBm = dsp.Median(detSamples)
+	} else {
+		report.MedianRSSDetectDBm = math.Inf(-1)
+	}
+	report.IsTag = report.RSSLossDB < lossThresh && report.Extent < extThresh
+	return report
+}
+
+// sampleTagFrame is pass 2 for one frame: the tag's decode-mode spotlight
+// RSS using the estimated geometry (the tag axis is parallel to the road /
+// x axis), path-loss compensated per Eq 1 (d^4) using the tracked range so
+// the sample is proportional to RCS.
+func (p *Pipeline) sampleTagFrame(dec radar.RangeProfile, est geom.Vec3, tagPos geom.Vec2, azCap float64) tagSample {
+	rel := est.XY().Sub(tagPos)
+	r := rel.Norm()
+	if r == 0 {
+		return tagSample{}
+	}
+	azRel := tagPos.Sub(est.XY())
+	az := math.Atan2(azRel.X, -azRel.Y)
+	if math.Abs(az) > geom.Rad(azCap) || r >= p.Radar.MaxRange() {
+		return tagSample{}
+	}
+	rss := p.Radar.BeamPower(dec, p.Radar.BinForRange(r), az)
+	rss *= r * r * r * r
+	return tagSample{u: rel.X / r, rss: rss, r: r, ok: true}
+}
+
 // Run drives the full pipeline: truth are the radar's true per-frame
 // positions (used to synthesize physics, and for the short-horizon
 // operations of clustering and spotlighting, which integrate over windows
@@ -234,53 +352,14 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 		extThresh = 0.18
 	}
 
-	fe := p.Radar.FrontEnd
-	f := p.Radar.CenterFrequency
-
 	// Pass 1: synthesize both modes per frame, keep range profiles, and
-	// build the merged world-frame point cloud from detection mode. Frames
-	// are independent given their seed stream, so the loop fans out on the
-	// sweep pool; per-stage times accumulate atomically across workers in
-	// the stage spans (Span.Add is one atomic add).
+	// build the merged world-frame point cloud from detection mode.
 	n := len(truth)
 	sp.SetAttr("frames", 2*n)
 	sp.SetAttr("fft_calls", int64(2*n)*int64(p.Radar.NumRx))
 	sp.SetAttr("fft_size", p.Radar.Samples)
 	sp.SetAttr("workers", resolveWorkers(p.Workers, n))
-	synthSp := sp.StartChild(SpanSynthesize)
-	rangeSp := sp.StartChild(SpanRangeFFT)
-	cloudSp := sp.StartChild(SpanPointCloud)
-	frames, err := sweep.Run(n, p.Workers, func(i int) (frameData, error) {
-		rng := sweep.NewRand(seed, i)
-		t0 := time.Now()
-		detScat := sc.Scatterers(truth[i], vel, scene.ModeDetect, fe, f, rng)
-		decScat := sc.Scatterers(truth[i], vel, scene.ModeDecode, fe, f, rng)
-		detFrame := p.Radar.Synthesize(detScat, rng)
-		decFrame := p.Radar.Synthesize(decScat, rng)
-		t1 := time.Now()
-		fd := frameData{
-			det: p.Radar.RangeProfile(detFrame),
-			dec: p.Radar.RangeProfile(decFrame),
-		}
-		radar.ReleaseFrame(detFrame)
-		radar.ReleaseFrame(decFrame)
-		t2 := time.Now()
-
-		for _, d := range p.Radar.PointCloudFromProfile(fd.det, p.Detect) {
-			// Radar at y > 0 looks toward -y; a detection at (range, az)
-			// sits at radar + range*(sin az, -cos az).
-			world := truth[i].XY().Add(geom.Vec2{
-				X: d.Range * math.Sin(d.Azimuth),
-				Y: -d.Range * math.Cos(d.Azimuth),
-			})
-			fd.points = append(fd.points, cluster.Point{Pos: world, Weight: d.Power})
-		}
-		t3 := time.Now()
-		synthSp.Add(t1.Sub(t0))
-		rangeSp.Add(t2.Sub(t1))
-		cloudSp.Add(t3.Sub(t2))
-		return fd, nil
-	})
+	frames, err := p.synthesizeFrames(sc, truth, vel, seed, sp)
 	mRuns.Inc()
 	mFrames.Add(int64(2 * n))
 	mFFTs.Add(int64(2*n) * int64(p.Radar.NumRx))
@@ -297,7 +376,11 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 			radar.ReleaseProfile(fd.dec)
 		}
 	}()
-	var merged []cluster.Point
+	total := 0
+	for _, fd := range frames {
+		total += len(fd.points)
+	}
+	merged := make([]cluster.Point, 0, total)
 	for _, fd := range frames {
 		merged = append(merged, fd.points...)
 	}
@@ -308,50 +391,34 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 	clusterSp.End()
 	clusterSp.SetAttr("points", len(merged))
 
+	// Spotlight pass: classify every cluster that survived the density
+	// filter. Objects are independent and draw no randomness, so they fan
+	// out on the sweep pool; sweep.Run returns reports in candidate order,
+	// keeping the output byte-identical at any worker count. The span
+	// accumulates worker-summed self time, like the per-frame stages.
 	spotSp := sp.StartChild(SpanSpotlight)
-	res := &Result{TagIndex: -1, MergedPoints: merged}
+	var cands []cluster.Stats
 	for _, st := range stats {
-		if st.Count < minFrames {
-			continue
+		if st.Count >= minFrames {
+			cands = append(cands, st)
 		}
-		report := ObjectReport{Centroid: st.Centroid, Extent: st.Extent, Points: st.Count}
-
-		// Spotlight the object in both modes across the pass.
-		var lossSamples, detSamples []float64
-		for i := 0; i < n; i++ {
-			rel := st.Centroid.Sub(truth[i].XY())
-			r := rel.Norm()
-			az := math.Atan2(rel.X, -rel.Y)
-			if math.Abs(az) > geom.Rad(60) || r >= p.Radar.MaxRange() || r <= 4*p.Radar.RangeBinSize() {
-				continue
-			}
-			bin := p.Radar.BinForRange(r)
-			det := p.Radar.AoASpectrum(frames[i].det, bin, []float64{az})[0]
-			dec := p.Radar.AoASpectrum(frames[i].dec, bin, []float64{az})[0]
-			// Subtract the expected beamformed noise power so weak
-			// decode-mode readings do not bias the loss feature low.
-			noise := 1.5 * p.Radar.NoisePerBin() / float64(p.Radar.NumRx)
-			det -= noise
-			dec -= noise
-			if det > 4*noise {
-				detSamples = append(detSamples, em.DBm(det))
-				if dec > 2*noise {
-					lossSamples = append(lossSamples, em.DB(det/dec))
-				}
-			}
+	}
+	spotSp.SetAttr("objects", len(cands))
+	spotSp.SetAttr("workers", resolveWorkers(p.Workers, max(len(cands), n)))
+	res := &Result{TagIndex: -1, MergedPoints: merged}
+	if len(cands) > 0 {
+		reports, err := sweep.Run(len(cands), p.Workers, func(ci int) (ObjectReport, error) {
+			t0 := time.Now()
+			report := p.classifyObject(cands[ci], frames, truth, lossThresh, extThresh)
+			spotSp.Add(time.Since(t0))
+			return report, nil
+		})
+		if err != nil {
+			obs.Logger().Error("detect: spotlight pass failed", "objects", len(cands), "seed", seed, "err", err)
+			sp.Release()
+			return nil, err
 		}
-		if len(lossSamples) > 0 {
-			report.RSSLossDB = dsp.Median(lossSamples)
-		} else {
-			report.RSSLossDB = math.Inf(1)
-		}
-		if len(detSamples) > 0 {
-			report.MedianRSSDetectDBm = dsp.Median(detSamples)
-		} else {
-			report.MedianRSSDetectDBm = math.Inf(-1)
-		}
-		report.IsTag = report.RSSLossDB < lossThresh && report.Extent < extThresh
-		res.Objects = append(res.Objects, report)
+		res.Objects = reports
 	}
 
 	if p.ForceTagNear != nil {
@@ -388,31 +455,31 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 	mTagsFound.Inc()
 
 	// Pass 2: sample the tag's decode-mode RSS over u using the estimated
-	// geometry (the tag axis is parallel to the road / x axis).
+	// geometry. Frames are independent here too, so the sampling fans out
+	// on the pool and the samples are appended in frame order.
 	azCap := p.DecodeAzimuthCapDeg
 	if azCap <= 0 {
 		azCap = 60
 	}
 	tagPos := res.Objects[res.TagIndex].Centroid
-	for i := 0; i < n; i++ {
-		rel := est[i].XY().Sub(tagPos)
-		r := rel.Norm()
-		if r == 0 {
+	samples, err := sweep.Run(n, p.Workers, func(i int) (tagSample, error) {
+		t0 := time.Now()
+		s := p.sampleTagFrame(frames[i].dec, est[i], tagPos, azCap)
+		spotSp.Add(time.Since(t0))
+		return s, nil
+	})
+	if err != nil {
+		obs.Logger().Error("detect: decode sampling pass failed", "frames", n, "seed", seed, "err", err)
+		sp.Release()
+		return nil, err
+	}
+	for _, s := range samples {
+		if !s.ok {
 			continue
 		}
-		azRel := tagPos.Sub(est[i].XY())
-		az := math.Atan2(azRel.X, -azRel.Y)
-		if math.Abs(az) > geom.Rad(azCap) || r >= p.Radar.MaxRange() {
-			continue
-		}
-		bin := p.Radar.BinForRange(r)
-		rss := p.Radar.AoASpectrum(frames[i].dec, bin, []float64{az})[0]
-		// Path-loss compensation per Eq 1 (d^4) using tracked range, so
-		// the samples are proportional to RCS.
-		rss *= r * r * r * r
-		res.TagU = append(res.TagU, rel.X/r)
-		res.TagRSS = append(res.TagRSS, rss)
-		res.TagRange = append(res.TagRange, r)
+		res.TagU = append(res.TagU, s.u)
+		res.TagRSS = append(res.TagRSS, s.rss)
+		res.TagRange = append(res.TagRange, s.r)
 	}
 	spotSp.End()
 	spotSp.SetAttr("samples", len(res.TagU))

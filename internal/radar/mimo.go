@@ -104,16 +104,23 @@ func (m MIMOConfig) VirtualAoASpectrum(burst []Frame, bin int, angles []float64)
 	}
 	out := make([]float64, len(angles))
 	for i, th := range angles {
-		var sum complex128
+		// Virtual element position tx*TxSpacing + rx*RxSpacing factors the
+		// steering weight into rotTx^tx * rotRx^rx, so each angle costs two
+		// Sincos calls and a complex recurrence instead of per-element trig.
 		sinTh := math.Sin(th)
-		for v := 0; v < nv; v++ {
-			// Virtual element position: tx*TxSpacing + rx*RxSpacing =
-			// v-th multiple of RxSpacing for the gapless layout.
-			tx := v / m.NumRx
-			rx := v % m.NumRx
-			pos := float64(tx)*m.TxSpacing + float64(rx)*m.RxSpacing
-			w := 2 * math.Pi * pos * sinTh / lambda
-			sum += virt[v] * complex(math.Cos(w), math.Sin(w))
+		sinRx, cosRx := math.Sincos(2 * math.Pi * m.RxSpacing * sinTh / lambda)
+		sinTx, cosTx := math.Sincos(2 * math.Pi * m.TxSpacing * sinTh / lambda)
+		rotRx := complex(cosRx, sinRx)
+		rotTx := complex(cosTx, sinTx)
+		var sum complex128
+		steerTx := complex(1, 0)
+		for tx := 0; tx < m.NumTx; tx++ {
+			steer := steerTx
+			for rx := 0; rx < m.NumRx; rx++ {
+				sum += virt[tx*m.NumRx+rx] * steer
+				steer *= rotRx
+			}
+			steerTx *= rotTx
 		}
 		sum /= complex(float64(nv), 0)
 		out[i] = real(sum)*real(sum) + imag(sum)*imag(sum)
@@ -124,7 +131,7 @@ func (m MIMOConfig) VirtualAoASpectrum(burst []Frame, bin int, angles []float64)
 // VirtualAoAEstimate returns the angle (radians) of the strongest virtual
 // beamforming response at the range bin nearest rangeM.
 func (m MIMOConfig) VirtualAoAEstimate(burst []Frame, rangeM float64) (float64, error) {
-	angles := m.Config.scanAngles()
+	angles := m.Config.ScanAngles()
 	spec, err := m.VirtualAoASpectrum(burst, m.BinForRange(rangeM), angles)
 	if err != nil {
 		return 0, err

@@ -63,25 +63,77 @@ func (c Config) BinForRange(r float64) int {
 
 // AoASpectrum evaluates Eq 4 at one range bin: conventional beamforming
 // across the Rx array over the given steering angles (radians from
-// boresight). It returns the beamformed power (watts) per angle.
+// boresight). It returns the beamformed power (watts) per angle. When angles
+// is the cached scan grid (ScanAngles), the per-Config precomputed steering
+// kernels are used and the loop runs no trig at all.
 func (c Config) AoASpectrum(rp RangeProfile, bin int, angles []float64) []float64 {
+	out := make([]float64, len(angles))
+	c.AoASpectrumInto(out, rp, bin, angles)
+	return out
+}
+
+// AoASpectrumInto is AoASpectrum writing into a caller-provided buffer (one
+// power per angle), so per-bin scans inside the point-cloud loop allocate
+// nothing. dst must have length len(angles).
+func (c Config) AoASpectrumInto(dst []float64, rp RangeProfile, bin int, angles []float64) {
 	if bin < 0 || bin >= len(rp.Bins[0]) {
 		panic(fmt.Sprintf("radar: AoA at bin %d of %d", bin, len(rp.Bins[0])))
 	}
-	lambda := c.Wavelength()
-	out := make([]float64, len(angles))
-	for i, th := range angles {
-		var sum complex128
-		sinTh := math.Sin(th)
-		for k := 0; k < c.NumRx; k++ {
-			w := 2 * math.Pi * float64(k) * c.RxSpacing * sinTh / lambda
-			steer := complex(math.Cos(w), math.Sin(w))
-			sum += rp.Bins[k][bin] * steer
-		}
-		sum /= complex(float64(c.NumRx), 0)
-		out[i] = real(sum)*real(sum) + imag(sum)*imag(sum)
+	if len(dst) != len(angles) {
+		panic(fmt.Sprintf("radar: AoA dst has %d slots for %d angles", len(dst), len(angles)))
 	}
-	return out
+	tab := c.steering()
+	if len(angles) > 0 && len(angles) == len(tab.angles) && &angles[0] == &tab.angles[0] {
+		// Cached-kernel path: gather the bin across channels once, then one
+		// NumRx-length complex dot product per angle.
+		var vbuf [16]complex128
+		v := vbuf[:0]
+		if c.NumRx > len(vbuf) {
+			v = make([]complex128, 0, c.NumRx)
+		}
+		for k := 0; k < c.NumRx; k++ {
+			v = append(v, rp.Bins[k][bin])
+		}
+		inv := complex(1/float64(c.NumRx), 0)
+		for a := range angles {
+			w := tab.weights[a*tab.numRx : (a+1)*tab.numRx]
+			var sum complex128
+			for k, x := range v {
+				sum += x * w[k]
+			}
+			sum *= inv
+			dst[a] = real(sum)*real(sum) + imag(sum)*imag(sum)
+		}
+		return
+	}
+	for i, th := range angles {
+		dst[i] = c.beamPowerAt(rp, bin, th)
+	}
+}
+
+// BeamPower is the fast single-angle beamformer used by the spotlight pass
+// (Sec 6): the beamformed received power (watts) at one range bin and
+// azimuth. It costs one Sincos for the element-to-element phase rotation;
+// the steering weights follow by complex recurrence.
+func (c Config) BeamPower(rp RangeProfile, bin int, azimuth float64) float64 {
+	if bin < 0 || bin >= len(rp.Bins[0]) {
+		panic(fmt.Sprintf("radar: AoA at bin %d of %d", bin, len(rp.Bins[0])))
+	}
+	return c.beamPowerAt(rp, bin, azimuth)
+}
+
+func (c Config) beamPowerAt(rp RangeProfile, bin int, th float64) float64 {
+	w := 2 * math.Pi * c.RxSpacing * math.Sin(th) / c.Wavelength()
+	sin, cos := math.Sincos(w)
+	rot := complex(cos, sin)
+	steer := complex(1, 0)
+	var sum complex128
+	for k := 0; k < c.NumRx; k++ {
+		sum += rp.Bins[k][bin] * steer
+		steer *= rot
+	}
+	sum /= complex(float64(c.NumRx), 0)
+	return real(sum)*real(sum) + imag(sum)*imag(sum)
 }
 
 // BeamformRSS "spotlights" a known target (Sec 6): it steers the array to
@@ -89,9 +141,7 @@ func (c Config) AoASpectrum(rp RangeProfile, bin int, angles []float64) []float6
 // watts.
 func (c Config) BeamformRSS(f Frame, rangeM, azimuth float64) float64 {
 	rp := c.RangeProfile(f)
-	bin := c.BinForRange(rangeM)
-	p := c.AoASpectrum(rp, bin, []float64{azimuth})
-	return p[0]
+	return c.BeamPower(rp, c.BinForRange(rangeM), azimuth)
 }
 
 // Detection is one point in the radar point cloud.
@@ -155,19 +205,20 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 		noise = 1e-30
 	}
 	thresh := noise * dsp.FromDB(opts.ThresholdDB)
-	var cfarHits map[int]bool
+	var cfarHits []bool
 	if opts.UseCFAR {
 		cfar := opts.CFAR
 		if cfar.ThresholdDB == 0 {
 			cfar.ThresholdDB = opts.ThresholdDB
 		}
-		cfarHits = make(map[int]bool)
+		cfarHits = make([]bool, n)
 		for _, idx := range CFARDetect(power, cfar) {
 			cfarHits[idx] = true
 		}
 	}
 
-	angles := c.scanAngles()
+	angles := c.ScanAngles()
+	spec := make([]float64, len(angles))
 	var out []Detection
 	for i := 1; i < n-1; i++ {
 		r := float64(i) * rp.BinSize
@@ -181,7 +232,7 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 		} else if power[i] < thresh || power[i] < power[i-1] || power[i] <= power[i+1] {
 			continue
 		}
-		spec := c.AoASpectrum(rp, i, angles)
+		c.AoASpectrumInto(spec, rp, i, angles)
 		// Gate at 20 percent of the strongest response so the 4-element
 		// array's -11 dB sidelobes do not spawn ghost points.
 		maxSpec, _ := dsp.Max(spec)
@@ -194,17 +245,6 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 			az := angles[0] + p.Pos*(angles[1]-angles[0])
 			out = append(out, Detection{Range: r, Azimuth: az, Power: p.Value})
 		}
-	}
-	return out
-}
-
-// scanAngles returns the AoA scan grid: +/-60 deg (the radar antenna FoV,
-// Sec 7.3) in 1-degree steps.
-func (c Config) scanAngles() []float64 {
-	const step = math.Pi / 180
-	var out []float64
-	for a := -60.0 * step; a <= 60*step+1e-12; a += step {
-		out = append(out, a)
 	}
 	return out
 }

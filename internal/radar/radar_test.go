@@ -86,7 +86,7 @@ func TestAoAEstimation(t *testing.T) {
 		f := c.Synthesize([]Scatterer{{Range: 4, Azimuth: az, Amplitude: 1e-4}}, nil)
 		rp := c.RangeProfile(f)
 		bin := c.BinForRange(4)
-		angles := c.scanAngles()
+		angles := c.ScanAngles()
 		spec := c.AoASpectrum(rp, bin, angles)
 		_, idx := dsp.Max(spec)
 		got := geom.Deg(angles[idx])
