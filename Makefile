@@ -5,7 +5,7 @@
 GO ?= go
 
 # Hot-path micro-benchmarks compared by bench-compare and smoke-tested in CI.
-BENCH_HOT := 'BenchmarkEndToEndRead$$|BenchmarkSpotlight$$|BenchmarkDBSCAN|BenchmarkAoASpectrum$$'
+BENCH_HOT := 'BenchmarkEndToEndRead$$|BenchmarkSpotlight$$|BenchmarkDBSCAN|BenchmarkAoASpectrum$$|BenchmarkSynthesize$$|BenchmarkRangeFFTBatched$$'
 BENCH_COUNT ?= 5
 
 .PHONY: ci fmt vet build test race bench bench-trend bench-baseline bench-compare bench-smoke

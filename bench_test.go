@@ -123,6 +123,39 @@ func BenchmarkRangeProfile(b *testing.B) {
 	}
 }
 
+// BenchmarkSynthesize measures the plan executor alone: scene-static terms
+// precomputed once, noiseless so only the tone kernels run.
+func BenchmarkSynthesize(b *testing.B) {
+	cfg := radar.TI1443()
+	rng := rand.New(rand.NewSource(2))
+	scatterers := make([]radar.Scatterer, 20)
+	for i := range scatterers {
+		scatterers[i] = radar.Scatterer{
+			Range:     2 + rng.Float64()*5,
+			Azimuth:   rng.Float64() - 0.5,
+			Amplitude: 1e-5,
+		}
+	}
+	plan := cfg.NewSynthPlan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radar.ReleaseFrame(plan.Synthesize(scatterers, nil))
+	}
+}
+
+// BenchmarkRangeFFTBatched measures the fused window+IFFT over all channels
+// of one frame through the batched plan path.
+func BenchmarkRangeFFTBatched(b *testing.B) {
+	cfg := radar.TI1443()
+	rng := rand.New(rand.NewSource(3))
+	plan := cfg.NewSynthPlan()
+	frame := plan.Synthesize([]radar.Scatterer{{Range: 3, Amplitude: 1e-5}}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radar.ReleaseProfile(plan.RangeProfile(frame))
+	}
+}
+
 func BenchmarkAoASpectrum(b *testing.B) {
 	cfg := radar.TI1443()
 	rng := rand.New(rand.NewSource(5))

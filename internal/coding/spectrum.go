@@ -127,9 +127,10 @@ func ComputeSpectrum(u, rss []float64, opts SpectrumOptions) (*Spectrum, error) 
 	for i, v := range det {
 		x[i] = complex(v, 0)
 	}
-	spec := dsp.FFT(x)
+	dsp.FFTInPlace(x)
 	du := grid[1] - grid[0]
-	mag := dsp.Magnitude(spec[:m/2])
+	mag := make([]float64, m/2)
+	dsp.MagnitudeInto(mag, x[:m/2])
 	spacing := make([]float64, m/2)
 	for i := range spacing {
 		// Bin i is frequency i/(m*du) cycles per unit u; a stack at

@@ -211,25 +211,29 @@ type tagSample struct {
 // frame, keep the range profiles, and extract the detection-mode point cloud
 // in world coordinates. Frames are independent given their seed stream, so
 // the loop fans out on the sweep pool; per-stage times accumulate atomically
-// across workers in child spans of sp (Span.Add is one atomic add). The
-// returned profiles live in pooled buffers — the caller owns releasing them.
+// across workers in child spans of sp (Span.Add is one atomic add). All
+// workers share one immutable frame front-end plan (scene-static synthesis
+// terms + the fused window+FFT range plan); only the frame and profile
+// scratch buffers are pooled. The returned profiles live in pooled buffers —
+// the caller owns releasing them.
 func (p *Pipeline) synthesizeFrames(sc *scene.Scene, truth []geom.Vec3, vel geom.Vec3, seed int64, sp *obs.Span) ([]frameData, error) {
 	synthSp := sp.StartChild(SpanSynthesize)
 	rangeSp := sp.StartChild(SpanRangeFFT)
 	cloudSp := sp.StartChild(SpanPointCloud)
 	fe := p.Radar.FrontEnd
 	f := p.Radar.CenterFrequency
+	plan := p.Radar.NewSynthPlan()
 	return sweep.Run(len(truth), p.Workers, func(i int) (frameData, error) {
 		rng := sweep.NewRand(seed, i)
 		t0 := time.Now()
 		detScat := sc.Scatterers(truth[i], vel, scene.ModeDetect, fe, f, rng)
 		decScat := sc.Scatterers(truth[i], vel, scene.ModeDecode, fe, f, rng)
-		detFrame := p.Radar.Synthesize(detScat, rng)
-		decFrame := p.Radar.Synthesize(decScat, rng)
+		detFrame := plan.Synthesize(detScat, rng)
+		decFrame := plan.Synthesize(decScat, rng)
 		t1 := time.Now()
 		fd := frameData{
-			det: p.Radar.RangeProfile(detFrame),
-			dec: p.Radar.RangeProfile(decFrame),
+			det: plan.RangeProfile(detFrame),
+			dec: plan.RangeProfile(decFrame),
 		}
 		radar.ReleaseFrame(detFrame)
 		radar.ReleaseFrame(decFrame)

@@ -99,16 +99,10 @@ func (w Window) CachedCoefficients(n int) ([]float64, float64) {
 	return ent.coeffs, ent.gain
 }
 
-// Apply multiplies x by the window coefficients in place and returns x.
-func (w Window) Apply(x []complex128) []complex128 {
-	c := w.Coefficients(len(x))
-	for i := range x {
-		x[i] *= complex(c[i], 0)
-	}
-	return x
-}
-
 // ApplyFloat multiplies x by the window coefficients in place and returns x.
+// (The complex-input variant was removed: every complex windowing path now
+// runs through a fused Plan, which applies the coefficients inside the
+// transform's first butterfly pass.)
 func (w Window) ApplyFloat(x []float64) []float64 {
 	c := w.Coefficients(len(x))
 	for i := range x {

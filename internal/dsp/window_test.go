@@ -71,12 +71,12 @@ func TestHannCoherentGain(t *testing.T) {
 }
 
 func TestApplyWindows(t *testing.T) {
-	x := []complex128{1, 1, 1, 1, 1}
-	Hann.Apply(x)
+	x := []float64{1, 1, 1, 1, 1}
+	Hann.ApplyFloat(x)
 	c := Hann.Coefficients(5)
 	for i := range x {
-		if math.Abs(real(x[i])-c[i]) > 1e-12 {
-			t.Errorf("Apply[%d] = %g, want %g", i, real(x[i]), c[i])
+		if math.Abs(x[i]-c[i]) > 1e-12 {
+			t.Errorf("ApplyFloat[%d] = %g, want %g", i, x[i], c[i])
 		}
 	}
 	y := []float64{2, 2, 2}

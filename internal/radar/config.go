@@ -67,6 +67,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("radar: need at least 1 Rx antenna, got %d", c.NumRx)
 	case c.RxSpacing <= 0:
 		return fmt.Errorf("radar: non-positive Rx spacing %g", c.RxSpacing)
+	case c.ADCBits < 0 || c.ADCBits > 30:
+		// 0 models an ideal converter; anything past 30 bits would
+		// silently overflow the quantizer's level shift.
+		return fmt.Errorf("radar: ADC bits %d outside [1, 30] (0 disables quantization)", c.ADCBits)
 	}
 	return nil
 }

@@ -35,20 +35,25 @@ func (c Config) DopplerMap(frames []Frame, rx int) (powerMap [][]float64, veloci
 	}
 	nBins := c.Samples
 
-	// Slow-time FFT per range bin, Hann-windowed against leakage.
-	win := dsp.Hann.Coefficients(k)
-	gain := dsp.Hann.CoherentGain(k)
+	// Slow-time FFT per range bin, Hann-windowed against leakage. The
+	// window (and its coherent-gain normalization) is fused into the plan's
+	// first butterfly pass, and the three per-bin buffers are reused across
+	// the bin loop.
+	plan := dsp.PlanFor(k, dsp.Hann)
 	powerMap = make([][]float64, k)
 	for d := range powerMap {
 		powerMap[d] = make([]float64, nBins)
 	}
 	slow := make([]complex128, k)
+	spec := make([]complex128, k)
+	shifted := make([]complex128, k)
 	for b := 0; b < nBins; b++ {
 		for i := 0; i < k; i++ {
-			slow[i] = profiles[i].Bins[rx][b] * complex(win[i]/gain, 0)
+			slow[i] = profiles[i].Bins[rx][b]
 		}
-		spec := dsp.FFTShift(dsp.FFT(slow))
-		for d, v := range spec {
+		plan.Forward(spec, slow)
+		dsp.FFTShiftInto(shifted, spec)
+		for d, v := range shifted {
 			powerMap[d][b] = (real(v)*real(v) + imag(v)*imag(v)) / float64(k*k)
 		}
 	}

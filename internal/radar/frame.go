@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
+	"ros/internal/dsp"
 	"ros/internal/em"
 )
 
@@ -33,74 +35,166 @@ type Scatterer struct {
 	RadialVelocity float64
 }
 
-// Frame holds one frame of complex baseband samples, indexed
-// [rx][sample].
+// Frame holds one frame of complex baseband samples for all Rx channels in
+// one contiguous channel-major buffer, the layout the batched range
+// transform (dsp.Plan.InverseMany) consumes directly.
 type Frame struct {
-	Samples [][]complex128
+	// Data holds NumRx*Samples complex samples; channel k occupies
+	// Data[k*Samples : (k+1)*Samples].
+	Data []complex128
+	// NumRx is the channel count and Samples the per-channel length (also
+	// the channel stride within Data).
+	NumRx, Samples int
+
+	// buf is the pooled backing store, nil for hand-built frames.
+	buf *chanBuf
 }
+
+// Channel returns channel k's samples as a view into the frame's buffer.
+func (f Frame) Channel(k int) []complex128 {
+	return f.Data[k*f.Samples : (k+1)*f.Samples]
+}
+
+// NewFrame returns a zeroed frame with the config's channel count and
+// sample length backed by a fresh (unpooled) buffer.
+func (c Config) NewFrame() Frame {
+	return Frame{Data: make([]complex128, c.NumRx*c.Samples), NumRx: c.NumRx, Samples: c.Samples}
+}
+
+// SynthPlan is the per-read execution plan of the frame front-end: every
+// term of the synthesis model (Eq 2) that depends only on the radar
+// configuration — wavelength, beat/Doppler/phase coefficients, the
+// per-sample noise sigma, the ADC's AGC parameters — evaluated once, plus
+// the fused window+FFT plan of the range transform (Eq 3). The detection
+// pipeline builds one plan per read and shares it across the frame workers;
+// the plan itself is immutable and safe for concurrent use, only the frame
+// buffers are pooled per call.
+type SynthPlan struct {
+	cfg    Config
+	lambda float64
+	// beatK and dopK turn range and radial velocity into the beat
+	// frequency: fb = beatK*Range + dopK*RadialVelocity.
+	beatK, dopK float64
+	// phaseK is the carrier round-trip phase per meter, 4*pi/lambda.
+	phaseK float64
+	// stepK converts the beat frequency into the per-sample phase step,
+	// -2*pi/SampleRate.
+	stepK float64
+	// rxK is the element-to-element steering phase per unit sin(az),
+	// 2*pi*RxSpacing/lambda.
+	rxK float64
+	// sigma is the per-sample thermal noise sigma per I/Q component.
+	sigma float64
+	// adcLevels is the quantizer level count per polarity,
+	// 1 << (ADCBits - 1); 0 when ADCBits == 0 (quantization disabled).
+	adcLevels float64
+	// rangePlan is the fused Hann window + IFFT plan of the range
+	// transform.
+	rangePlan *dsp.Plan
+}
+
+// synthPlans caches plans per Config (Config is comparable); a sweep
+// re-reading the same radar reuses the scene-static tables across reads.
+var synthPlans sync.Map // Config -> *SynthPlan
+
+// NewSynthPlan validates the configuration once and returns the frame
+// front-end plan for it. It panics on an invalid config, exactly as
+// Synthesize does.
+func (c Config) NewSynthPlan() *SynthPlan {
+	if v, ok := synthPlans.Load(c); ok {
+		return v.(*SynthPlan)
+	}
+	if err := c.Validate(); err != nil {
+		panic(fmt.Sprintf("radar: synthesis plan on invalid config: %v", err))
+	}
+	lambda := c.Wavelength()
+	p := &SynthPlan{
+		cfg:       c,
+		lambda:    lambda,
+		beatK:     2 * c.Slope / em.C,
+		dopK:      2 / lambda,
+		phaseK:    4 * math.Pi / lambda,
+		stepK:     -2 * math.Pi / c.SampleRate,
+		rxK:       2 * math.Pi * c.RxSpacing / lambda,
+		sigma:     math.Sqrt(c.NoisePerBin()*float64(c.Samples)) / math.Sqrt2,
+		rangePlan: dsp.PlanFor(c.Samples, dsp.Hann),
+	}
+	if c.ADCBits > 0 {
+		// Levels per polarity; Validate bounded ADCBits to (0, 30], so
+		// the shift cannot overflow.
+		p.adcLevels = float64(int(1) << (c.ADCBits - 1))
+	}
+	actual, _ := synthPlans.LoadOrStore(c, p)
+	return actual.(*SynthPlan)
+}
+
+// Config returns the radar configuration the plan was built for.
+func (p *SynthPlan) Config() Config { return p.cfg }
 
 // Synthesize generates a baseband frame per Eq 2 for the given scatterers,
 // adding per-sample thermal noise sized so that the post-range-FFT per-bin
 // noise power equals Config.NoisePerBin. A nil rng yields a noiseless frame.
-func (c Config) Synthesize(scatterers []Scatterer, rng *rand.Rand) Frame {
-	if err := c.Validate(); err != nil {
-		panic(fmt.Sprintf("radar: Synthesize on invalid config: %v", err))
-	}
-	lambda := c.Wavelength()
+//
+// Per scatterer the executor runs three Sincos calls — base carrier phase,
+// per-sample beat rotation, per-channel steering rotation — and generates
+// every channel's tone from the channel-0 phasor by the steering recurrence
+// cur_k = cur_0 * rot^k (rot = exp(-i*2*pi*d*sin(az)/lambda)), instead of
+// one Sincos per channel. The per-sample rotation runs four independent
+// phasor lanes so the chain of complex multiplies is throughput- rather
+// than latency-bound. Rounding drift over a frame is ~n ulps, far below the
+// noise floor.
+func (p *SynthPlan) Synthesize(scatterers []Scatterer, rng *rand.Rand) Frame {
+	c := p.cfg
 	n := c.Samples
-	out := Frame{Samples: acquireChannels(c.NumRx, n, true)}
+	buf := acquireChannels(c.NumRx, n, true)
+	f := Frame{Data: buf.flat, NumRx: c.NumRx, Samples: n, buf: buf}
 
 	for _, sc := range scatterers {
 		if sc.Amplitude <= 0 || sc.Range <= 0 {
 			continue
 		}
 		// Beat frequency from range plus Doppler.
-		fb := 2*c.Slope*sc.Range/em.C + 2*sc.RadialVelocity/lambda
-		base := 4*math.Pi*sc.Range/lambda + sc.Phase
+		fb := p.beatK*sc.Range + p.dopK*sc.RadialVelocity
+		base := p.phaseK*sc.Range + sc.Phase
 		sinAz := math.Sin(sc.Azimuth)
-		// The phase advances linearly over fast time, so the tone is
-		// generated by a complex rotation recurrence — one multiply per
-		// sample instead of two trig calls. The rotation's rounding drift
-		// over a frame is ~n ulps, far below the noise floor.
-		ds, dc := math.Sincos(-2 * math.Pi * fb / c.SampleRate)
+		ds, dc := math.Sincos(p.stepK * fb)
 		step := complex(dc, ds)
+		rs, rc := math.Sincos(-p.rxK * sinAz)
+		rot := complex(rc, rs)
+		s0, c0 := math.Sincos(-base)
+		cur := complex(sc.Amplitude*c0, sc.Amplitude*s0)
 		for k := 0; k < c.NumRx; k++ {
-			aoa := 2 * math.Pi * float64(k) * c.RxSpacing * sinAz / lambda
-			s0, c0 := math.Sincos(-(base + aoa))
-			cur := complex(sc.Amplitude*c0, sc.Amplitude*s0)
-			ch := out.Samples[k]
-			for t := range ch {
-				ch[t] += cur
-				cur *= step
-			}
+			accumulateTone(f.Data[k*n:(k+1)*n], cur, step)
+			cur *= rot
 		}
 	}
 
-	if rng != nil {
-		// Per-sample noise such that after an N-point averaged FFT the
-		// per-bin noise power equals NoisePerBin: the normalized FFT
-		// averages N samples, reducing noise power by N.
-		sigma := math.Sqrt(c.NoisePerBin()*float64(n)) / math.Sqrt2
-		for k := range out.Samples {
-			ch := out.Samples[k]
-			for t := range ch {
-				ch[t] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
-			}
-		}
-	}
-	if c.ADCBits > 0 {
-		quantize(out, c.ADCBits)
-	}
-	return out
-}
-
-// quantize applies a b-bit midrise converter with per-frame AGC: the full
-// scale tracks the largest I/Q excursion (plus headroom), as a real
-// front end's gain control would.
-func quantize(f Frame, bits int) {
+	// Per-sample noise such that after an N-point averaged FFT the per-bin
+	// noise power equals NoisePerBin: the normalized FFT averages N
+	// samples, reducing noise power by N. The same pass tracks the largest
+	// I/Q excursion, which is the quantizer's AGC peak — no extra
+	// full-frame scan.
 	peak := 0.0
-	for _, ch := range f.Samples {
-		for _, v := range ch {
+	switch {
+	case rng != nil && c.ADCBits > 0:
+		sigma := p.sigma
+		for t, v := range f.Data {
+			v += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+			f.Data[t] = v
+			if a := math.Abs(real(v)); a > peak {
+				peak = a
+			}
+			if a := math.Abs(imag(v)); a > peak {
+				peak = a
+			}
+		}
+	case rng != nil:
+		sigma := p.sigma
+		for t := range f.Data {
+			f.Data[t] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		}
+	case c.ADCBits > 0:
+		for _, v := range f.Data {
 			if a := math.Abs(real(v)); a > peak {
 				peak = a
 			}
@@ -109,18 +203,63 @@ func quantize(f Frame, bits int) {
 			}
 		}
 	}
+	if c.ADCBits > 0 {
+		p.quantize(f, peak)
+	}
+	return f
+}
+
+// accumulateTone adds the complex tone cur * step^t to ch. The rotation
+// recurrence is latency-bound (each multiply depends on the previous), so
+// the loop advances four independent lanes a stride of step^4 apart,
+// overlapping the multiply chains.
+func accumulateTone(ch []complex128, cur, step complex128) {
+	n := len(ch)
+	step2 := step * step
+	step4 := step2 * step2
+	c0 := cur
+	c1 := cur * step
+	c2 := cur * step2
+	c3 := c2 * step
+	t := 0
+	for ; t+4 <= n; t += 4 {
+		ch[t] += c0
+		ch[t+1] += c1
+		ch[t+2] += c2
+		ch[t+3] += c3
+		c0 *= step4
+		c1 *= step4
+		c2 *= step4
+		c3 *= step4
+	}
+	for ; t < n; t++ {
+		ch[t] += c0
+		c0 *= step
+	}
+}
+
+// Synthesize generates a baseband frame per Eq 2 via the cached per-config
+// plan; see SynthPlan.Synthesize. A nil rng yields a noiseless frame.
+func (c Config) Synthesize(scatterers []Scatterer, rng *rand.Rand) Frame {
+	return c.NewSynthPlan().Synthesize(scatterers, rng)
+}
+
+// quantize applies the config's b-bit midrise converter with per-frame AGC:
+// the full scale tracks the given peak I/Q excursion (plus headroom), as a
+// real front end's gain control would. The peak comes from the synthesis
+// pass, which already touches every sample.
+func (p *SynthPlan) quantize(f Frame, peak float64) {
 	if peak == 0 {
 		return
 	}
-	full := peak * 1.1
-	levels := float64(int(1) << (bits - 1)) // per polarity
-	step := full / levels
-	q := func(x float64) float64 {
-		return (math.Floor(x/step) + 0.5) * step
-	}
-	for _, ch := range f.Samples {
-		for t, v := range ch {
-			ch[t] = complex(q(real(v)), q(imag(v)))
-		}
+	// Full scale is the peak plus 10% headroom. Evaluated as
+	// (peak*1.1)/levels, the exact expression of the pre-plan quantizer,
+	// so quantized frames are bit-identical to it.
+	step := peak * 1.1 / p.adcLevels
+	for t, v := range f.Data {
+		f.Data[t] = complex(
+			(math.Floor(real(v)/step)+0.5)*step,
+			(math.Floor(imag(v)/step)+0.5)*step,
+		)
 	}
 }

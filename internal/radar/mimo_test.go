@@ -109,11 +109,9 @@ func TestSynthesizeTDMDeterministic(t *testing.T) {
 	}
 	a, b := gen(), gen()
 	for tx := range a {
-		for k := range a[tx].Samples {
-			for i := range a[tx].Samples[k] {
-				if a[tx].Samples[k][i] != b[tx].Samples[k][i] {
-					t.Fatal("same seed produced different bursts")
-				}
+		for i := range a[tx].Data {
+			if a[tx].Data[i] != b[tx].Data[i] {
+				t.Fatal("same seed produced different bursts")
 			}
 		}
 	}

@@ -2,51 +2,57 @@ package radar
 
 import "sync"
 
-// chanPool recycles the [rx][sample] complex buffers behind frames and
-// range profiles. A drive-by synthesizes and transforms two frames per pose
-// (~560 per pass), and with the frame loop running on a worker pool the
-// buffers would otherwise be reallocated from every worker; recycling them
-// keeps the steady-state allocation rate near zero. Buffers are stored with
-// their channel structure intact and reused only when the shape matches the
-// requesting config (mismatched shapes are simply dropped).
+// chanBuf is the pooled backing store behind frames and range profiles: one
+// contiguous channel-major buffer plus per-channel views over it. Frames use
+// flat directly (the batched range transform consumes the contiguous
+// layout); range profiles expose the views as RangeProfile.Bins.
+type chanBuf struct {
+	flat  []complex128
+	views [][]complex128
+}
+
+// chanPool recycles chanBufs. A drive-by synthesizes and transforms two
+// frames per pose (~560 per pass), and with the frame loop running on a
+// worker pool the buffers would otherwise be reallocated from every worker;
+// recycling them keeps the steady-state allocation rate near zero. Buffers
+// are reused only when the shape matches the requesting config (mismatched
+// shapes are simply dropped).
 var chanPool sync.Pool
 
 // acquireChannels returns a [numRx][n] buffer, zeroed when zero is set
 // (frame synthesis accumulates with +=; the range transform overwrites
 // every element and skips the clear).
-func acquireChannels(numRx, n int, zero bool) [][]complex128 {
+func acquireChannels(numRx, n int, zero bool) *chanBuf {
 	if v := chanPool.Get(); v != nil {
-		ch := v.([][]complex128)
-		if len(ch) == numRx && (numRx == 0 || len(ch[0]) == n) {
+		b := v.(*chanBuf)
+		if len(b.views) == numRx && len(b.flat) == numRx*n {
 			if zero {
-				for k := range ch {
-					clear(ch[k])
-				}
+				clear(b.flat)
 			}
-			return ch
+			return b
 		}
 	}
 	flat := make([]complex128, numRx*n)
-	ch := make([][]complex128, numRx)
-	for k := range ch {
-		ch[k] = flat[k*n : (k+1)*n]
+	views := make([][]complex128, numRx)
+	for k := range views {
+		views[k] = flat[k*n : (k+1)*n]
 	}
-	return ch
+	return &chanBuf{flat: flat, views: views}
 }
 
-// ReleaseFrame returns a frame's sample buffers to the pool. The caller must
+// ReleaseFrame returns a frame's sample buffer to the pool. The caller must
 // not touch the frame afterwards; frames that escape to long-lived results
 // should simply not be released.
 func ReleaseFrame(f Frame) {
-	if f.Samples != nil {
-		chanPool.Put(f.Samples)
+	if f.buf != nil {
+		chanPool.Put(f.buf)
 	}
 }
 
 // ReleaseProfile returns a range profile's bin buffers to the pool. Same
 // contract as ReleaseFrame.
 func ReleaseProfile(rp RangeProfile) {
-	if rp.Bins != nil {
-		chanPool.Put(rp.Bins)
+	if rp.buf != nil {
+		chanPool.Put(rp.buf)
 	}
 }

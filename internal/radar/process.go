@@ -11,42 +11,47 @@ import (
 // RangeProfile is the per-channel range response of one frame (Eq 3).
 type RangeProfile struct {
 	// Bins is indexed [rx][rangeBin]; magnitudes are normalized so a point
-	// scatterer's peak equals its Scatterer.Amplitude.
+	// scatterer's peak equals its Scatterer.Amplitude. The channel slices
+	// are views over one contiguous buffer.
 	Bins [][]complex128
 	// BinSize is the range per bin in meters.
 	BinSize float64
+
+	// buf is the pooled backing store, nil for hand-built profiles.
+	buf *chanBuf
 }
 
-// RangeProfile applies the range transform of Eq 3 to a frame: an FFT over
-// fast time per channel, normalized by the sample count so bin magnitudes
-// are calibrated amplitudes.
+// RangeProfile applies the range transform of Eq 3 to a frame via the
+// per-read plan: one batched, fused Hann-window IFFT over all channels.
+// See SynthPlan.RangeProfile.
 func (c Config) RangeProfile(f Frame) RangeProfile {
-	if len(f.Samples) != c.NumRx {
-		panic(fmt.Sprintf("radar: frame has %d channels, config %d", len(f.Samples), c.NumRx))
+	return c.NewSynthPlan().RangeProfile(f)
+}
+
+// RangeProfile applies the range transform of Eq 3 to a frame: an IFFT over
+// fast time per channel, Hann-windowed against range sidelobes (a -2 dBsm
+// street lamp would otherwise smear -13 dB rectangular sidelobes across the
+// whole profile) and normalized by the window's coherent gain and the
+// sample count so bin magnitudes are calibrated amplitudes. (The beat phase
+// decreases with time — see Synthesize — so the range peak appears in the
+// IFFT, exactly as Eq 3 writes it.)
+//
+// All channels are transformed in one batched call of the plan's fused
+// window+FFT kernel (dsp.Plan.InverseMany) straight from the frame's
+// contiguous buffer into the pooled profile buffer: no window pass, no
+// scale pass, no per-call allocation in steady state.
+func (p *SynthPlan) RangeProfile(f Frame) RangeProfile {
+	c := p.cfg
+	if f.NumRx != c.NumRx || len(f.Data) != c.NumRx*c.Samples {
+		panic(fmt.Sprintf("radar: frame has %dx%d samples, config wants %dx%d",
+			f.NumRx, f.Samples, c.NumRx, c.Samples))
 	}
-	out := RangeProfile{Bins: acquireChannels(c.NumRx, c.Samples, false), BinSize: c.RangeBinSize()}
-	// Hann window against range sidelobes (a -2 dBsm street lamp would
-	// otherwise smear -13 dB rectangular sidelobes across the whole
-	// profile); normalized by the coherent gain to keep bin magnitudes
-	// calibrated. The coefficients come from the process-wide cache and the
-	// transform runs in place in the pooled bin buffer, so the per-frame
-	// range transform allocates nothing in steady state.
-	win, gain := dsp.Hann.CachedCoefficients(c.Samples)
-	invGain := 1 / gain
-	for k, ch := range f.Samples {
-		if len(ch) != c.Samples {
-			panic(fmt.Sprintf("radar: channel %d has %d samples, config %d", k, len(ch), c.Samples))
-		}
-		// The beat phase decreases with time (see Synthesize), so the
-		// range peak appears in the IFFT, exactly as Eq 3 writes it; the
-		// IFFT's 1/N scaling makes bin magnitudes calibrated amplitudes.
-		bins := out.Bins[k]
-		for i, v := range ch {
-			bins[i] = v * complex(win[i]*invGain, 0)
-		}
-		dsp.IFFTInPlace(bins)
+	if f.Samples != c.Samples {
+		panic(fmt.Sprintf("radar: frame channels hold %d samples, config %d", f.Samples, c.Samples))
 	}
-	return out
+	buf := acquireChannels(c.NumRx, c.Samples, false)
+	p.rangePlan.InverseMany(buf.flat, f.Data, c.NumRx, c.Samples)
+	return RangeProfile{Bins: buf.views, BinSize: c.RangeBinSize(), buf: buf}
 }
 
 // BinForRange returns the range bin index closest to r meters.
@@ -253,7 +258,7 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 // diagnostics and tests).
 func ChannelPower(f Frame, k int) float64 {
 	sum := 0.0
-	for _, v := range f.Samples[k] {
+	for _, v := range f.Channel(k) {
 		sum += cmplx.Abs(v) * cmplx.Abs(v)
 	}
 	return sum

@@ -50,6 +50,8 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		func(c *Config) { c.FrameRate = 0 },
 		func(c *Config) { c.NumRx = 0 },
 		func(c *Config) { c.RxSpacing = 0 },
+		func(c *Config) { c.ADCBits = -1 },
+		func(c *Config) { c.ADCBits = 31 },
 	}
 	for i, mut := range mutations {
 		c := base
@@ -57,6 +59,18 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		if c.Validate() == nil {
 			t.Errorf("mutation %d accepted", i)
 		}
+	}
+}
+
+func TestSynthPlanCached(t *testing.T) {
+	c := TI1443()
+	if c.NewSynthPlan() != c.NewSynthPlan() {
+		t.Error("identical configs yielded distinct plans")
+	}
+	c2 := c
+	c2.Samples = 200
+	if c.NewSynthPlan() == c2.NewSynthPlan() {
+		t.Error("distinct configs shared a plan")
 	}
 }
 
@@ -232,11 +246,9 @@ func TestSynthesizeDeterministic(t *testing.T) {
 			rand.New(rand.NewSource(9)))
 	}
 	a, b := gen(), gen()
-	for k := range a.Samples {
-		for i := range a.Samples[k] {
-			if a.Samples[k][i] != b.Samples[k][i] {
-				t.Fatal("same seed produced different frames")
-			}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed produced different frames")
 		}
 	}
 }
@@ -270,7 +282,7 @@ func TestRangeProfilePanicsOnMismatch(t *testing.T) {
 			t.Error("mismatched frame accepted")
 		}
 	}()
-	c.RangeProfile(Frame{Samples: make([][]complex128, 1)})
+	c.RangeProfile(Frame{Data: make([]complex128, c.Samples), NumRx: 1, Samples: c.Samples})
 }
 
 func TestPhaseCoherenceAcrossFrames(t *testing.T) {
@@ -323,11 +335,9 @@ func TestQuantizeZeroFrame(t *testing.T) {
 	c := TI1443()
 	c.ADCBits = 8
 	f := c.Synthesize(nil, nil) // all-zero, no noise
-	for _, ch := range f.Samples {
-		for _, v := range ch {
-			if v != 0 {
-				t.Fatal("quantizing a zero frame produced nonzero samples")
-			}
+	for _, v := range f.Data {
+		if v != 0 {
+			t.Fatal("quantizing a zero frame produced nonzero samples")
 		}
 	}
 }
