@@ -8,7 +8,10 @@ GO ?= go
 BENCH_HOT := 'BenchmarkEndToEndRead$$|BenchmarkSpotlight$$|BenchmarkDBSCAN|BenchmarkAoASpectrum$$|BenchmarkSynthesize$$|BenchmarkRangeFFTBatched$$'
 BENCH_COUNT ?= 5
 
-.PHONY: ci fmt vet build test race bench bench-trend bench-baseline bench-compare bench-smoke
+# Fuzz targets smoked by fuzz-smoke; each runs for FUZZTIME.
+FUZZ_TIME ?= 30s
+
+.PHONY: ci fmt vet build test race bench bench-trend bench-baseline bench-compare bench-smoke chaos fuzz-smoke
 
 ci: fmt vet build race
 
@@ -63,3 +66,19 @@ bench-compare:
 # benchmark that panics or regresses to non-termination fails the build).
 bench-smoke:
 	$(GO) test -run xxx -bench $(BENCH_HOT) -benchtime=1x ./...
+
+# Chaos suite on an idle machine: fault injection, cancellation promptness
+# (the 2x-deadline bound holds without -race), typed-error taxonomy, and
+# determinism across worker counts. CI runs the same tests under -race with
+# the relaxed wall-clock bound.
+chaos:
+	$(GO) test -run TestChaos -v .
+
+# Fuzz each native target for FUZZ_TIME (Go runs one -fuzz target per
+# invocation). The checked-in corpora under testdata/fuzz replay on every
+# plain `go test`, so past findings are permanent regression tests.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecode$$' -fuzztime $(FUZZ_TIME) ./internal/coding/
+	$(GO) test -run '^$$' -fuzz 'FuzzPercentile$$' -fuzztime $(FUZZ_TIME) ./internal/dsp/
+	$(GO) test -run '^$$' -fuzz 'FuzzPlanRoundTrip$$' -fuzztime $(FUZZ_TIME) ./internal/dsp/
+	$(GO) test -run '^$$' -fuzz 'FuzzResample$$' -fuzztime $(FUZZ_TIME) ./internal/dsp/

@@ -6,6 +6,7 @@ package ros
 // micro-benchmarks for the hot paths of the substrate.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -20,10 +21,10 @@ import (
 )
 
 // benchTable runs one experiment generator per iteration.
-func benchTable(b *testing.B, run func() *experiments.Table) {
+func benchTable(b *testing.B, run func(context.Context) *experiments.Table) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		t := run()
+		t := run(context.Background())
 		if len(t.Rows) == 0 {
 			b.Fatal("experiment produced no rows")
 		}

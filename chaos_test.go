@@ -1,0 +1,192 @@
+package ros
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestChaosDecodeUnderFrameLoss is the graceful-degradation contract: with
+// deterministic fault injection dropping and corrupting up to 20% of frames,
+// the read still detects the tag and decodes the right bits at every worker
+// count — the decoder reads an aggregate of azimuth samples, so partial
+// frame loss costs SNR, not correctness.
+func TestChaosDecodeUnderFrameLoss(t *testing.T) {
+	tag, err := NewTag("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader()
+	for _, rate := range []float64{0.05, 0.10, 0.20} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("rate=%.2f/workers=%d", rate, workers), func(t *testing.T) {
+				reading, err := r.ReadContext(context.Background(), tag, ReadOptions{
+					Seed:    7,
+					Workers: workers,
+					Fault:   &FaultOptions{Seed: 7, FrameDropRate: rate / 2, CorruptRate: rate / 2},
+				})
+				if err != nil {
+					t.Fatalf("read failed under %.0f%% fault rate: %v", rate*100, err)
+				}
+				if reading.Partial {
+					t.Fatal("read marked partial below the loss budget")
+				}
+				if !reading.Detected {
+					t.Fatalf("tag not detected under %.0f%% fault rate", rate*100)
+				}
+				if reading.Bits != "1011" {
+					t.Fatalf("decoded %q under %.0f%% fault rate, want 1011", reading.Bits, rate*100)
+				}
+				if rate > 0 && reading.Stats.FramesDropped == 0 && reading.Stats.SamplesScrubbed == 0 {
+					t.Fatal("fault injection enabled but no drops or scrubs counted")
+				}
+			})
+		}
+	}
+}
+
+// TestChaosTypedErrorBeyondBudget: when injected loss exceeds MaxFrameLoss,
+// the read must fail with the typed ErrFrameCorrupt — not a decode error,
+// not a panic, not a silent wrong answer.
+func TestChaosTypedErrorBeyondBudget(t *testing.T) {
+	tag, err := NewTag("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewReader().ReadContext(context.Background(), tag, ReadOptions{
+		Seed:  7,
+		Fault: &FaultOptions{Seed: 7, FrameDropRate: 0.9},
+	})
+	if err == nil {
+		t.Fatal("read succeeded with 90% frame loss against the default 50% budget")
+	}
+	if !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("excess loss not typed ErrFrameCorrupt: %v", err)
+	}
+}
+
+// TestChaosWorkerPanicRecovery: injected worker panics must surface as a
+// typed error carrying the panic, never crash the process.
+func TestChaosWorkerPanicRecovery(t *testing.T) {
+	tag, err := NewTag("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewReader().ReadContext(context.Background(), tag, ReadOptions{
+		Seed:    7,
+		Workers: 4,
+		Fault:   &FaultOptions{Seed: 7, PanicRate: 1},
+	})
+	if err == nil {
+		t.Fatal("read succeeded with every frame worker panicking")
+	}
+	if !errors.Is(err, ErrWorkerPanic) && !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("worker panic not typed: %v", err)
+	}
+}
+
+// TestChaosDeadlinePromptness: a read with a 5ms deadline must return within
+// 2x the deadline with a typed partial result. The frame loop checks the
+// context at every frame boundary, so expiry can stall at most one frame.
+func TestChaosDeadlinePromptness(t *testing.T) {
+	tag, err := NewTag("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deadline = 5 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	reading, err := NewReader().ReadContext(ctx, tag, ReadOptions{Seed: 7})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Skip("read finished inside a 5ms deadline; machine too fast to test expiry")
+	}
+	if !errors.Is(err, ErrReadCancelled) {
+		t.Fatalf("expired read not typed ErrReadCancelled: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired read does not match context.DeadlineExceeded: %v", err)
+	}
+	if reading == nil || !reading.Partial {
+		t.Fatalf("expired read did not return a partial Reading: %+v", reading)
+	}
+	// Generous 10x bound under -race and loaded CI; the enforced contract
+	// (ISSUE) is 2x, checked on an idle machine by the chaos make target.
+	limit := 2 * deadline
+	if testing.Short() || raceEnabled {
+		limit = 10 * deadline
+	}
+	if elapsed > limit {
+		t.Fatalf("5ms-deadline read took %v, want <= %v", elapsed, limit)
+	}
+}
+
+// TestChaosExplicitCancel: cancelling mid-read must surface both the typed
+// sentinel and context.Canceled in one chain.
+func TestChaosExplicitCancel(t *testing.T) {
+	tag, err := NewTag("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	reading, err := NewReader().ReadContext(ctx, tag, ReadOptions{Seed: 7})
+	if err == nil {
+		t.Skip("read finished before the 2ms cancel landed")
+	}
+	if !errors.Is(err, ErrReadCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled read error chain incomplete: %v", err)
+	}
+	if reading == nil || !reading.Partial {
+		t.Fatal("cancelled read did not return a partial Reading")
+	}
+}
+
+// TestChaosDeterminism: with injection on, equal seeds must reproduce the
+// same decode, drop count, and scrub count at every worker count — fault
+// decisions are a pure function of (seed, frame index).
+func TestChaosDeterminism(t *testing.T) {
+	tag, err := NewTag("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader()
+	type fingerprint struct {
+		bits              string
+		snr               float64
+		dropped, scrubbed int
+		detected, partial bool
+	}
+	var want fingerprint
+	for i, workers := range []int{1, 2, 4, 8} {
+		reading, err := r.ReadContext(context.Background(), tag, ReadOptions{
+			Seed:    11,
+			Workers: workers,
+			Fault:   &FaultOptions{Seed: 11, FrameDropRate: 0.08, CorruptRate: 0.05},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := fingerprint{
+			bits:     reading.Bits,
+			snr:      reading.SNRdB,
+			dropped:  reading.Stats.FramesDropped,
+			scrubbed: reading.Stats.SamplesScrubbed,
+			detected: reading.Detected,
+			partial:  reading.Partial,
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d diverged: %+v vs %+v", workers, got, want)
+		}
+	}
+}

@@ -14,10 +14,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"flag"
@@ -25,6 +29,7 @@ import (
 	"ros/internal/experiments"
 	"ros/internal/obs"
 	"ros/internal/obs/httpserve"
+	"ros/internal/roserr"
 	"ros/internal/sim"
 )
 
@@ -72,12 +77,12 @@ func ms(ns int64) float64 { return float64(ns) / 1e6 }
 // canonicalRead runs the reference pass (beam-shaped "1111" tag, defaults,
 // seed 1) twice — once to warm the process-wide twiddle/window/buffer
 // caches, once for the record — and returns the second outcome.
-func canonicalRead() (*sim.Outcome, error) {
+func canonicalRead(ctx context.Context) (*sim.Outcome, error) {
 	cfg := sim.DriveBy{BeamShaped: true, Seed: 1}
-	if _, err := sim.Run(cfg); err != nil {
+	if _, err := sim.RunContext(ctx, cfg); err != nil {
 		return nil, err
 	}
-	return sim.Run(cfg)
+	return sim.RunContext(ctx, cfg)
 }
 
 func readToRecord(out *sim.Outcome) readRecord {
@@ -104,7 +109,7 @@ var hExperiment = obs.Default.Histogram("ros_experiment_seconds",
 
 // runExperiment executes one generator, recovering a panic into the timing
 // record so one bad experiment cannot lose the whole run.
-func runExperiment(g experiments.Generator) (timing expTiming, table string) {
+func runExperiment(ctx context.Context, g experiments.Generator) (timing expTiming, table string) {
 	timing.ID = g.ID
 	start := time.Now()
 	defer func() {
@@ -113,11 +118,17 @@ func runExperiment(g experiments.Generator) (timing expTiming, table string) {
 		hExperiment.Observe(elapsed.Seconds())
 		if r := recover(); r != nil {
 			timing.Error = fmt.Sprint(r)
-			obs.Logger().Error("rosbench: experiment failed",
-				"id", g.ID, "err", timing.Error)
+			// A cancelled sweep panics with the typed roserr.ErrReadCancelled
+			// chain; keep that distinguishable in the record.
+			if err, ok := r.(error); ok && errors.Is(err, roserr.ErrReadCancelled) {
+				obs.Logger().Warn("rosbench: experiment cancelled", "id", g.ID)
+			} else {
+				obs.Logger().Error("rosbench: experiment failed",
+					"id", g.ID, "err", timing.Error)
+			}
 		}
 	}()
-	return timing, g.Run().String()
+	return timing, g.Run(ctx).String()
 }
 
 // appendTrend appends the record as one JSON line to path.
@@ -141,7 +152,19 @@ func main() {
 	trendPath := flag.String("trend", "", "append the benchmark record as one JSON line to this file")
 	serveAddr := flag.String("serve", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the duration of the run (e.g. localhost:6060)")
 	logLevel := flag.String("log", "off", "structured log level: debug, info, warn, error or off")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the run; on expiry experiments stop at the next drive-by boundary (0 disables)")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM and -timeout cancel the shared context; every
+	// experiment and the canonical read stop at the next frame or drive-by
+	// boundary and the partial record is still emitted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if level, off, ok := obs.ParseLevel(*logLevel); !ok {
 		fmt.Fprintf(os.Stderr, "rosbench: unknown -log level %q\n", *logLevel)
@@ -187,14 +210,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rosbench:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		sink = f
 	}
 
 	failures := 0
 	var timings []expTiming
 	for _, g := range gens {
-		timing, table := runExperiment(g)
+		if ctx.Err() != nil {
+			// Deadline hit or interrupted: stop launching experiments but
+			// still emit the record for the ones that ran.
+			fmt.Fprintf(os.Stderr, "rosbench: cancelled before %s: %v\n", g.ID, context.Cause(ctx))
+			failures++
+			break
+		}
+		timing, table := runExperiment(ctx, g)
 		timings = append(timings, timing)
 		if timing.Error != "" {
 			failures++
@@ -207,7 +236,18 @@ func main() {
 				(time.Duration(timing.Ms * 1e6)).Round(time.Millisecond))
 		}
 		if sink != nil {
-			fmt.Fprintln(sink, table)
+			if _, err := fmt.Fprintln(sink, table); err != nil {
+				fmt.Fprintln(os.Stderr, "rosbench: writing -o file:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if sink != nil {
+		// An ignored Close on a written file can silently lose buffered
+		// tables; surface it.
+		if err := sink.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rosbench: closing -o file:", err)
+			os.Exit(1)
 		}
 	}
 
@@ -219,7 +259,7 @@ func main() {
 		NumCPU:      runtime.NumCPU(),
 		Experiments: timings,
 	}
-	read, err := canonicalRead()
+	read, err := canonicalRead(ctx)
 	if err != nil {
 		// Still emit the partial record: losing the whole run over one
 		// failure is exactly what -json used to do wrong.

@@ -91,6 +91,12 @@ func main() {
 	fmt.Println()
 
 	// Panel 3: RCS frequency spectrum with the coding slots (Fig 11d).
+	if out.Decode == nil {
+		// Detected but undecodable: out.Decode is nil, so there is no
+		// spectrum panel to draw (dereferencing it used to crash here).
+		fmt.Println("tag detected but undecodable; no spectrum panel")
+		os.Exit(1)
+	}
 	spec := out.Decode.Spectrum
 	lambda := em.Lambda79()
 	var labels []string

@@ -6,12 +6,23 @@
 //
 //	rossim [-bits 1111] [-distance 3] [-speed 10] [-fog heavy]
 //	       [-height 0.1] [-drift 0.04] [-clutter] [-seed 1]
+//	       [-timeout 500ms] [-drop 0.1] [-corrupt 0.1]
+//
+// -timeout bounds the read: on expiry the run stops at the next frame
+// boundary and reports the partial read. -drop and -corrupt inject
+// deterministic faults (frame loss, NaN/Inf sample corruption) to
+// demonstrate graceful degradation; see docs/ROBUSTNESS.md.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ros"
 	"ros/internal/geom"
@@ -28,6 +39,9 @@ func main() {
 	modules := flag.Int("modules", 32, "PSVAAs per stack")
 	seed := flag.Int64("seed", 1, "random seed")
 	dump := flag.String("dump", "", "write the RCS capture to this JSON file (decode later with rosdecode)")
+	timeout := flag.Duration("timeout", 0, "deadline for the read; a partial read is reported on expiry (0 disables)")
+	drop := flag.Float64("drop", 0, "injected per-frame drop probability (chaos demo)")
+	corrupt := flag.Float64("corrupt", 0, "injected per-frame NaN/Inf corruption probability (chaos demo)")
 	flag.Parse()
 
 	tag, err := ros.NewTag(*bits, ros.WithStackModules(*modules))
@@ -49,9 +63,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("driving past a %q tag: %.1f m standoff, %.0f mph, %s\n",
-		*bits, *distance, *speedMPH, fogLevel)
-	reading, err := ros.NewReader().Read(tag, ros.ReadOptions{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := ros.ReadOptions{
 		Standoff:      *distance,
 		SpeedMPS:      geom.MPH(*speedMPH),
 		HeightOffset:  *height,
@@ -59,10 +79,28 @@ func main() {
 		TrackingError: *drift,
 		WithClutter:   *clutter,
 		Seed:          *seed,
-	})
+	}
+	if *drop > 0 || *corrupt > 0 {
+		opts.Fault = &ros.FaultOptions{Seed: *seed, FrameDropRate: *drop, CorruptRate: *corrupt}
+	}
+
+	fmt.Printf("driving past a %q tag: %.1f m standoff, %.0f mph, %s\n",
+		*bits, *distance, *speedMPH, fogLevel)
+	start := time.Now()
+	reading, err := ros.NewReader().ReadContext(ctx, tag, opts)
 	if err != nil {
+		if reading != nil && errors.Is(err, ros.ErrReadCancelled) {
+			fmt.Printf("result: read cancelled after %v (%d frames completed, %d dropped)\n",
+				time.Since(start).Round(time.Millisecond),
+				reading.Stats.FramesCompleted, reading.Stats.FramesDropped)
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "rossim:", err)
 		os.Exit(1)
+	}
+	if reading.Stats.FramesDropped > 0 || reading.Stats.SamplesScrubbed > 0 {
+		fmt.Printf("degraded read: %d frames dropped, %d samples scrubbed\n",
+			reading.Stats.FramesDropped, reading.Stats.SamplesScrubbed)
 	}
 
 	if !reading.Detected {

@@ -67,7 +67,10 @@ func main() {
 	fmt.Printf("TI-radar read range:  %.1f m\n", ros.NewReader().MaxRange())
 
 	checks, err := tag.Review(ros.Deployment{Standoff: 3, MaxSpeedMPS: 13.4})
-	if err == nil {
+	if err != nil {
+		// Non-fatal (the review is advisory), but not silent either.
+		fmt.Fprintln(os.Stderr, "rostag: deployment review failed:", err)
+	} else {
 		fmt.Println("\ndeployment review (one lane away, 30 mph):")
 		fmt.Print(ros.ReviewString(checks))
 	}

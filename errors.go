@@ -1,0 +1,30 @@
+package ros
+
+import "ros/internal/roserr"
+
+// Sentinel errors of the read pipeline, re-exported from the internal error
+// taxonomy so callers can branch with errors.Is without importing internal
+// packages. Every error the pipeline returns wraps exactly one of these.
+var (
+	// ErrConfig marks an invalid configuration (bad radar parameters, bad
+	// fault rates, malformed bit strings). Never returned for runtime
+	// conditions.
+	ErrConfig = roserr.ErrConfig
+	// ErrReadCancelled marks a read cut short by context cancellation or
+	// deadline expiry. The same error chain also matches the context cause
+	// (context.Canceled or context.DeadlineExceeded), so callers can
+	// distinguish a timeout from an explicit cancel.
+	ErrReadCancelled = roserr.ErrReadCancelled
+	// ErrFrameCorrupt marks a read that lost more frames to drops,
+	// corruption, or worker failures than the degradation budget allows.
+	ErrFrameCorrupt = roserr.ErrFrameCorrupt
+	// ErrNoTag marks an operation that needs a detected tag on a reading
+	// without one (e.g. SaveCapture after a miss).
+	ErrNoTag = roserr.ErrNoTag
+	// ErrUndecodable marks a detected tag whose RCS spectrum could not be
+	// decoded (degenerate sample span, empty coding band).
+	ErrUndecodable = roserr.ErrUndecodable
+	// ErrWorkerPanic marks a recovered panic in a parallel stage; the chain
+	// carries the panic value and stack trace.
+	ErrWorkerPanic = roserr.ErrWorkerPanic
+)

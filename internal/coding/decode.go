@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ros/internal/dsp"
+	"ros/internal/roserr"
 )
 
 // Decoder reads bits back out of measured RCS samples. It knows the code
@@ -29,10 +30,10 @@ type Decoder struct {
 // spacing, and wavelength.
 func NewDecoder(bits int, delta, lambda float64) (*Decoder, error) {
 	if bits < 1 {
-		return nil, fmt.Errorf("coding: decoder needs at least 1 bit slot, got %d", bits)
+		return nil, fmt.Errorf("coding: %w: decoder needs at least 1 bit slot, got %d", roserr.ErrConfig, bits)
 	}
 	if delta <= 0 || lambda <= 0 {
-		return nil, fmt.Errorf("coding: decoder requires positive delta and lambda (got %g, %g)", delta, lambda)
+		return nil, fmt.Errorf("coding: %w: decoder requires positive delta and lambda (got %g, %g)", roserr.ErrConfig, delta, lambda)
 	}
 	return &Decoder{
 		Bits:          bits,
@@ -78,7 +79,7 @@ func (d *Decoder) Decode(u, rss []float64) (*Result, error) {
 func (d *Decoder) DecodeSpectrum(spec *Spectrum) (*Result, error) {
 	res := spec.Resolution()
 	if res <= 0 {
-		return nil, fmt.Errorf("coding: spectrum has no resolution")
+		return nil, fmt.Errorf("coding: %w: spectrum has no resolution", roserr.ErrUndecodable)
 	}
 	m := d.Bits + 1
 	// Designed |d_k| for each slot.
@@ -99,11 +100,11 @@ func (d *Decoder) DecodeSpectrum(spec *Spectrum) (*Result, error) {
 		}
 	}
 	if bandCount == 0 {
-		return nil, fmt.Errorf("coding: spectrum does not cover the coding band [%g, %g] m", bandLo, bandHi)
+		return nil, fmt.Errorf("coding: %w: spectrum does not cover the coding band [%g, %g] m", roserr.ErrUndecodable, bandLo, bandHi)
 	}
 	norm := bandSum / float64(bandCount)
 	if norm <= 0 {
-		return nil, fmt.Errorf("coding: coding band has no energy")
+		return nil, fmt.Errorf("coding: %w: coding band has no energy", roserr.ErrUndecodable)
 	}
 
 	// Peak amplitudes at the designed positions.
@@ -216,7 +217,7 @@ func BitsString(bits []bool) string {
 // ParseBits parses a "1011"-style string.
 func ParseBits(s string) ([]bool, error) {
 	if s == "" {
-		return nil, fmt.Errorf("coding: empty bit string")
+		return nil, fmt.Errorf("coding: %w: empty bit string", roserr.ErrConfig)
 	}
 	out := make([]bool, len(s))
 	for i, c := range s {
@@ -225,7 +226,7 @@ func ParseBits(s string) ([]bool, error) {
 		case '1':
 			out[i] = true
 		default:
-			return nil, fmt.Errorf("coding: invalid bit %q at position %d", c, i)
+			return nil, fmt.Errorf("coding: %w: invalid bit %q at position %d", roserr.ErrConfig, c, i)
 		}
 	}
 	return out, nil

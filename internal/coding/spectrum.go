@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ros/internal/dsp"
+	"ros/internal/roserr"
 )
 
 // Spectrum is the RCS frequency spectrum of Eq 7: the Fourier transform of
@@ -74,18 +75,18 @@ type SpectrumOptions struct {
 // spectrum is symmetric).
 func ComputeSpectrum(u, rss []float64, opts SpectrumOptions) (*Spectrum, error) {
 	if opts.Lambda <= 0 {
-		return nil, fmt.Errorf("coding: spectrum requires a positive wavelength, got %g", opts.Lambda)
+		return nil, fmt.Errorf("coding: %w: spectrum requires a positive wavelength, got %g", roserr.ErrConfig, opts.Lambda)
 	}
 	if len(u) != len(rss) {
-		return nil, fmt.Errorf("coding: %d u samples vs %d rss samples", len(u), len(rss))
+		return nil, fmt.Errorf("coding: %w: %d u samples vs %d rss samples", roserr.ErrConfig, len(u), len(rss))
 	}
 	if len(u) < 8 {
-		return nil, fmt.Errorf("coding: need at least 8 samples, got %d", len(u))
+		return nil, fmt.Errorf("coding: %w: need at least 8 samples, got %d", roserr.ErrUndecodable, len(u))
 	}
 	uMin, _ := dsp.Min(u)
 	uMax, _ := dsp.Max(u)
 	if uMax-uMin < 1e-6 {
-		return nil, fmt.Errorf("coding: degenerate u span [%g, %g]", uMin, uMax)
+		return nil, fmt.Errorf("coding: %w: degenerate u span [%g, %g]", roserr.ErrUndecodable, uMin, uMax)
 	}
 	n := opts.GridPoints
 	if n == 0 {
@@ -111,6 +112,14 @@ func ComputeSpectrum(u, rss []float64, opts SpectrumOptions) (*Spectrum, error) 
 			hw = n / div
 		}
 		det, _ = dsp.Detrend(vals, hw)
+	}
+	// Non-finite samples — NaN/Inf in the input, or envelope division
+	// overflowing on extreme magnitudes — would smear NaN across every FFT
+	// bin and surface as a "decoded" read of garbage. Reject them here.
+	for _, v := range det {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("coding: %w: non-finite RCS series after envelope removal", roserr.ErrUndecodable)
+		}
 	}
 	mean := dsp.Mean(det)
 	for i := range det {

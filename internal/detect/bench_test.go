@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,7 +22,7 @@ func spotlightFixture(b *testing.B) (*Pipeline, []frameData, []cluster.Stats, []
 	p := NewPipeline(radar.TI1443())
 	truth := passPositions(3, 240)
 	sp := obs.StartSpan("bench")
-	frames, err := p.synthesizeFrames(sc, truth, geom.Vec3{X: 2}, 1, sp)
+	frames, _, err := p.synthesizeFrames(context.Background(), sc, truth, geom.Vec3{X: 2}, 1, sp)
 	sp.Release()
 	if err != nil {
 		b.Fatal(err)

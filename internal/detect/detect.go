@@ -14,9 +14,22 @@
 // RCS sampling) fan out on the same pool: objects and frames are independent
 // and draw no randomness, and results are collected in index order, so the
 // output stays byte-identical at any worker count there too.
+//
+// Robustness: RunContext threads a context through every stage with
+// cooperative cancellation checks at frame and stage boundaries — a
+// cancelled or deadline-expired run returns promptly with a partial Result
+// (Partial set, frames completed so far) and an error matching both
+// roserr.ErrReadCancelled and the context cause. The optional fault layer
+// (Pipeline.Fault) injects deterministic frame drops, sample corruption,
+// worker panics and latency; the pipeline degrades gracefully — non-finite
+// samples are scrubbed before the range transform, lost frames are excluded
+// from the aggregate up to MaxFrameLoss, and beyond that budget the run
+// fails with a typed roserr.ErrFrameCorrupt.
 package detect
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -25,9 +38,11 @@ import (
 	"ros/internal/cluster"
 	"ros/internal/dsp"
 	"ros/internal/em"
+	"ros/internal/fault"
 	"ros/internal/geom"
 	"ros/internal/obs"
 	"ros/internal/radar"
+	"ros/internal/roserr"
 	"ros/internal/scene"
 	"ros/internal/sweep"
 )
@@ -43,6 +58,10 @@ var (
 		"fast-time FFTs run by the range transforms")
 	mTagsFound = obs.Default.Counter("ros_tags_detected_total",
 		"pipeline runs that classified a tag")
+	mFramesDropped = obs.Default.Counter("ros_frames_dropped_total",
+		"frame poses lost to drops, corruption, or worker failure")
+	mSamplesScrubbed = obs.Default.Counter("ros_samples_scrubbed_total",
+		"non-finite baseband samples zeroed before the range transform")
 )
 
 // Pipeline holds the detector configuration.
@@ -85,8 +104,18 @@ type Pipeline struct {
 	// spotlight passes; 0 uses GOMAXPROCS. The output is identical at any
 	// worker count.
 	Workers int
-	// Detection options for per-frame point clouds.
+	// Detect options for per-frame point clouds.
 	Detect radar.DetectOptions
+	// Fault injects deterministic faults into the frame loop (nil = off;
+	// see internal/fault). With Fault nil the pipeline's output is
+	// byte-identical to a build that never loads the fault layer.
+	Fault *fault.Injector
+	// MaxFrameLoss is the tolerated fraction of frame poses lost to drops,
+	// corruption, or worker failure before the run fails with
+	// roserr.ErrFrameCorrupt (default 0.5). The decoder reads from an
+	// aggregate of azimuth samples, so partial frame loss degrades SNR
+	// rather than correctness.
+	MaxFrameLoss float64
 }
 
 // NewPipeline returns a pipeline with the paper's defaults around the given
@@ -101,6 +130,35 @@ func NewPipeline(cfg radar.Config) *Pipeline {
 		TagMaxExtent:        0.18,
 		DecodeAzimuthCapDeg: 60,
 	}
+}
+
+// Validate reports whether the pipeline configuration is usable. Zero values
+// mean "use the default" and pass; negative or out-of-range values are
+// rejected with roserr.ErrConfig, so fault injection can never be confused
+// with misconfiguration.
+func (p *Pipeline) Validate() error {
+	if err := p.Radar.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case p.ClusterEps < 0 || math.IsNaN(p.ClusterEps):
+		return fmt.Errorf("detect: %w: negative cluster eps %g", roserr.ErrConfig, p.ClusterEps)
+	case p.ClusterMinPts < 0:
+		return fmt.Errorf("detect: %w: negative cluster min points %d", roserr.ErrConfig, p.ClusterMinPts)
+	case p.MinClusterFrames < 0:
+		return fmt.Errorf("detect: %w: negative min cluster frames %d", roserr.ErrConfig, p.MinClusterFrames)
+	case p.TagMaxRSSLossDB < 0 || math.IsNaN(p.TagMaxRSSLossDB):
+		return fmt.Errorf("detect: %w: negative RSS-loss threshold %g", roserr.ErrConfig, p.TagMaxRSSLossDB)
+	case p.TagMaxExtent < 0 || math.IsNaN(p.TagMaxExtent):
+		return fmt.Errorf("detect: %w: negative extent threshold %g", roserr.ErrConfig, p.TagMaxExtent)
+	case p.DecodeAzimuthCapDeg < 0 || p.DecodeAzimuthCapDeg > 90:
+		return fmt.Errorf("detect: %w: decode azimuth cap %g outside [0, 90]", roserr.ErrConfig, p.DecodeAzimuthCapDeg)
+	case p.Workers < 0:
+		return fmt.Errorf("detect: %w: negative worker count %d", roserr.ErrConfig, p.Workers)
+	case p.MaxFrameLoss < 0 || p.MaxFrameLoss > 1 || math.IsNaN(p.MaxFrameLoss):
+		return fmt.Errorf("detect: %w: max frame loss %g outside [0, 1]", roserr.ErrConfig, p.MaxFrameLoss)
+	}
+	return nil
 }
 
 // ObjectReport describes one clustered roadside object.
@@ -158,6 +216,17 @@ type Result struct {
 	// MergedPoints is the merged world-frame point cloud (diagnostics,
 	// Fig 11b).
 	MergedPoints []cluster.Point
+	// Partial marks a run cut short by cancellation or failed past the
+	// frame-loss budget; the accompanying error carries the cause.
+	Partial bool
+	// FramesCompleted counts frame poses that produced usable range
+	// profiles; FramesDropped counts poses lost to injected drops,
+	// corruption past the repair threshold, or worker failure. Poses a
+	// cancelled run never reached appear in neither.
+	FramesCompleted, FramesDropped int
+	// SamplesScrubbed counts non-finite baseband samples zeroed before the
+	// range transform across the whole run.
+	SamplesScrubbed int
 	// Span is the run's trace tree ("detect" with per-stage children);
 	// Stats is derived from it. Callers that do not retain Span may
 	// Release it to return the nodes to the span pool.
@@ -198,6 +267,12 @@ func StatsFromSpan(sp *obs.Span) Stats {
 type frameData struct {
 	det, dec radar.RangeProfile
 	points   []cluster.Point
+	// ok marks frames whose profiles are valid; dropped marks frames lost
+	// to injected drops or corruption past the repair threshold (a frame a
+	// cancelled run never reached is neither ok nor dropped). scrubbed
+	// counts non-finite samples repaired before the range transform.
+	ok, dropped bool
+	scrubbed    int
 }
 
 // tagSample is the per-frame output of the parallel decode-mode RCS
@@ -207,6 +282,11 @@ type tagSample struct {
 	ok        bool
 }
 
+// maxScrubFraction is the repair threshold: a frame with more than this
+// fraction of its samples non-finite carries no trustworthy signal and is
+// dropped as corrupt rather than scrubbed and kept.
+const maxScrubFraction = 0.25
+
 // synthesizeFrames is pass 1 of Run: synthesize both polarization modes per
 // frame, keep the range profiles, and extract the detection-mode point cloud
 // in world coordinates. Frames are independent given their seed stream, so
@@ -215,51 +295,127 @@ type tagSample struct {
 // workers share one immutable frame front-end plan (scene-static synthesis
 // terms + the fused window+FFT range plan); only the frame and profile
 // scratch buffers are pooled. The returned profiles live in pooled buffers —
-// the caller owns releasing them.
-func (p *Pipeline) synthesizeFrames(sc *scene.Scene, truth []geom.Vec3, vel geom.Vec3, seed int64, sp *obs.Span) ([]frameData, error) {
+// the caller owns releasing them. The done mask marks frames that actually
+// ran (cancellation stops dispatch between frames).
+func (p *Pipeline) synthesizeFrames(ctx context.Context, sc *scene.Scene, truth []geom.Vec3, vel geom.Vec3, seed int64, sp *obs.Span) ([]frameData, []bool, error) {
 	synthSp := sp.StartChild(SpanSynthesize)
 	rangeSp := sp.StartChild(SpanRangeFFT)
 	cloudSp := sp.StartChild(SpanPointCloud)
 	fe := p.Radar.FrontEnd
 	f := p.Radar.CenterFrequency
 	plan := p.Radar.NewSynthPlan()
-	return sweep.Run(len(truth), p.Workers, func(i int) (frameData, error) {
-		rng := sweep.NewRand(seed, i)
-		t0 := time.Now()
-		detScat := sc.Scatterers(truth[i], vel, scene.ModeDetect, fe, f, rng)
-		decScat := sc.Scatterers(truth[i], vel, scene.ModeDecode, fe, f, rng)
-		detFrame := plan.Synthesize(detScat, rng)
-		decFrame := plan.Synthesize(decScat, rng)
-		t1 := time.Now()
-		fd := frameData{
-			det: plan.RangeProfile(detFrame),
-			dec: plan.RangeProfile(decFrame),
+	inj := p.Fault
+	samples := p.Radar.Samples
+	numRx := p.Radar.NumRx
+	return sweep.RunCtx(ctx, len(truth), p.Workers, func(ctx context.Context, i int) (frameData, error) {
+		if inj != nil {
+			ff := inj.Frame(i)
+			if ff.Delay > 0 {
+				t := time.NewTimer(ff.Delay)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return frameData{}, context.Cause(ctx)
+				}
+			}
+			if ff.Panic {
+				panic(fmt.Errorf("fault: injected worker panic at frame %d: %w", i, roserr.ErrFrameCorrupt))
+			}
+			if ff.Drop {
+				return frameData{dropped: true}, nil
+			}
+			if ff.Corrupt || ff.Burst {
+				return p.synthesizeFaultyFrame(sc, truth[i], vel, seed, i, ff, plan, fe, f,
+					numRx, samples, synthSp, rangeSp, cloudSp)
+			}
 		}
+		return p.synthesizeCleanFrame(sc, truth[i], vel, seed, i, plan, fe, f, synthSp, rangeSp, cloudSp), nil
+	})
+}
+
+// synthesizeCleanFrame is the fault-free frame path — the hot loop of every
+// production read.
+func (p *Pipeline) synthesizeCleanFrame(sc *scene.Scene, pose geom.Vec3, vel geom.Vec3, seed int64, i int, plan *radar.SynthPlan, fe em.RadarFrontEnd, f float64, synthSp, rangeSp, cloudSp *obs.Span) frameData {
+	rng := sweep.NewRand(seed, i)
+	t0 := time.Now()
+	detScat := sc.Scatterers(pose, vel, scene.ModeDetect, fe, f, rng)
+	decScat := sc.Scatterers(pose, vel, scene.ModeDecode, fe, f, rng)
+	detFrame := plan.Synthesize(detScat, rng)
+	decFrame := plan.Synthesize(decScat, rng)
+	t1 := time.Now()
+	fd := frameData{
+		det: plan.RangeProfile(detFrame),
+		dec: plan.RangeProfile(decFrame),
+		ok:  true,
+	}
+	radar.ReleaseFrame(detFrame)
+	radar.ReleaseFrame(decFrame)
+	t2 := time.Now()
+
+	p.extractPoints(&fd, pose)
+	t3 := time.Now()
+	synthSp.Add(t1.Sub(t0))
+	rangeSp.Add(t2.Sub(t1))
+	cloudSp.Add(t3.Sub(t2))
+	return fd
+}
+
+// synthesizeFaultyFrame is the corrupted-frame path: synthesize both modes,
+// apply the injected sample faults, scrub non-finite samples before the
+// range transform, and drop the frame as corrupt when the scrub count
+// exceeds the repair threshold.
+func (p *Pipeline) synthesizeFaultyFrame(sc *scene.Scene, pose geom.Vec3, vel geom.Vec3, seed int64, i int, ff fault.FrameFaults, plan *radar.SynthPlan, fe em.RadarFrontEnd, f float64, numRx, samples int, synthSp, rangeSp, cloudSp *obs.Span) (frameData, error) {
+	rng := sweep.NewRand(seed, i)
+	t0 := time.Now()
+	detScat := sc.Scatterers(pose, vel, scene.ModeDetect, fe, f, rng)
+	decScat := sc.Scatterers(pose, vel, scene.ModeDecode, fe, f, rng)
+	detFrame := plan.Synthesize(detScat, rng)
+	decFrame := plan.Synthesize(decScat, rng)
+	ff.Apply(detFrame.Data, numRx, samples)
+	ff.Apply(decFrame.Data, numRx, samples)
+	scrubbed := radar.ScrubFrame(detFrame) + radar.ScrubFrame(decFrame)
+	t1 := time.Now()
+	synthSp.Add(t1.Sub(t0))
+	if float64(scrubbed) > maxScrubFraction*float64(2*len(detFrame.Data)) {
 		radar.ReleaseFrame(detFrame)
 		radar.ReleaseFrame(decFrame)
-		t2 := time.Now()
+		return frameData{dropped: true, scrubbed: scrubbed}, nil
+	}
+	fd := frameData{
+		det:      plan.RangeProfile(detFrame),
+		dec:      plan.RangeProfile(decFrame),
+		ok:       true,
+		scrubbed: scrubbed,
+	}
+	radar.ReleaseFrame(detFrame)
+	radar.ReleaseFrame(decFrame)
+	t2 := time.Now()
+	p.extractPoints(&fd, pose)
+	rangeSp.Add(t2.Sub(t1))
+	cloudSp.Add(time.Since(t2))
+	return fd, nil
+}
 
-		for _, d := range p.Radar.PointCloudFromProfile(fd.det, p.Detect) {
-			// Radar at y > 0 looks toward -y; a detection at (range, az)
-			// sits at radar + range*(sin az, -cos az).
-			world := truth[i].XY().Add(geom.Vec2{
-				X: d.Range * math.Sin(d.Azimuth),
-				Y: -d.Range * math.Cos(d.Azimuth),
-			})
-			fd.points = append(fd.points, cluster.Point{Pos: world, Weight: d.Power})
-		}
-		t3 := time.Now()
-		synthSp.Add(t1.Sub(t0))
-		rangeSp.Add(t2.Sub(t1))
-		cloudSp.Add(t3.Sub(t2))
-		return fd, nil
-	})
+// extractPoints converts the frame's detection-mode point cloud into world
+// coordinates.
+func (p *Pipeline) extractPoints(fd *frameData, pose geom.Vec3) {
+	for _, d := range p.Radar.PointCloudFromProfile(fd.det, p.Detect) {
+		// Radar at y > 0 looks toward -y; a detection at (range, az)
+		// sits at radar + range*(sin az, -cos az).
+		world := pose.XY().Add(geom.Vec2{
+			X: d.Range * math.Sin(d.Azimuth),
+			Y: -d.Range * math.Cos(d.Azimuth),
+		})
+		fd.points = append(fd.points, cluster.Point{Pos: world, Weight: d.Power})
+	}
 }
 
 // classifyObject spotlights one cluster in both polarization modes across
 // the pass and fills in the two classification features of Fig 13. It draws
 // no randomness and touches only read-only state, so objects classify
-// concurrently on the sweep pool.
+// concurrently on the sweep pool. Frames without usable profiles (dropped or
+// never synthesized) are skipped.
 func (p *Pipeline) classifyObject(st cluster.Stats, frames []frameData, truth []geom.Vec3, lossThresh, extThresh float64) ObjectReport {
 	report := ObjectReport{Centroid: st.Centroid, Extent: st.Extent, Points: st.Count}
 	// Subtract the expected beamformed noise power so weak decode-mode
@@ -267,6 +423,9 @@ func (p *Pipeline) classifyObject(st cluster.Stats, frames []frameData, truth []
 	noise := 1.5 * p.Radar.NoisePerBin() / float64(p.Radar.NumRx)
 	var lossSamples, detSamples []float64
 	for i := range truth {
+		if !frames[i].ok {
+			continue
+		}
 		rel := st.Centroid.Sub(truth[i].XY())
 		r := rel.Norm()
 		az := math.Atan2(rel.X, -rel.Y)
@@ -317,7 +476,12 @@ func (p *Pipeline) sampleTagFrame(dec radar.RangeProfile, est geom.Vec3, tagPos 
 	return tagSample{u: rel.X / r, rss: rss, r: r, ok: true}
 }
 
-// Run drives the full pipeline: truth are the radar's true per-frame
+// Run drives the full pipeline without cancellation; see RunContext.
+func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, seed int64) (*Result, error) {
+	return p.RunContext(context.Background(), sc, truth, est, vel, seed)
+}
+
+// RunContext drives the full pipeline: truth are the radar's true per-frame
 // positions (used to synthesize physics, and for the short-horizon
 // operations of clustering and spotlighting, which integrate over windows
 // where dead-reckoning drift is negligible), est the vehicle's self-tracked
@@ -325,15 +489,29 @@ func (p *Pipeline) sampleTagFrame(dec radar.RangeProfile, est geom.Vec3, tagPos 
 // the error injection point of Fig 16d), vel the vehicle velocity, and seed
 // the root of the per-frame noise streams (equal seeds reproduce the run
 // exactly, at any worker count).
-func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, seed int64) (*Result, error) {
+//
+// Cancellation is cooperative with frame granularity: when ctx is cancelled
+// or its deadline expires, RunContext stops at the next frame or stage
+// boundary and returns a partial Result (Partial set, FramesCompleted
+// counted) plus an error matching roserr.ErrReadCancelled and the context
+// cause. Frames completed before the cut are exactly the frames a full run
+// would have produced.
+func (p *Pipeline) RunContext(ctx context.Context, sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, seed int64) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sp := obs.StartSpan(SpanRun)
 	if len(truth) == 0 || len(truth) != len(est) {
 		sp.Release()
-		return nil, fmt.Errorf("detect: %d truth vs %d estimated positions", len(truth), len(est))
+		return nil, fmt.Errorf("detect: %w: %d truth vs %d estimated positions", roserr.ErrConfig, len(truth), len(est))
 	}
-	if err := p.Radar.Validate(); err != nil {
+	if err := p.Validate(); err != nil {
 		sp.Release()
 		return nil, err
+	}
+	if err := context.Cause(ctx); err != nil {
+		sp.Release()
+		return nil, fmt.Errorf("detect: read cancelled before the first frame: %w: %w", roserr.ErrReadCancelled, err)
 	}
 	eps := p.ClusterEps
 	if eps <= 0 {
@@ -355,6 +533,10 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 	if extThresh == 0 {
 		extThresh = 0.18
 	}
+	maxLoss := p.MaxFrameLoss
+	if maxLoss == 0 {
+		maxLoss = 0.5
+	}
 
 	// Pass 1: synthesize both modes per frame, keep range profiles, and
 	// build the merged world-frame point cloud from detection mode.
@@ -363,23 +545,95 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 	sp.SetAttr("fft_calls", int64(2*n)*int64(p.Radar.NumRx))
 	sp.SetAttr("fft_size", p.Radar.Samples)
 	sp.SetAttr("workers", resolveWorkers(p.Workers, n))
-	frames, err := p.synthesizeFrames(sc, truth, vel, seed, sp)
+	frames, done, ferr := p.synthesizeFrames(ctx, sc, truth, vel, seed, sp)
 	mRuns.Inc()
 	mFrames.Add(int64(2 * n))
 	mFFTs.Add(int64(2*n) * int64(p.Radar.NumRx))
-	if err != nil {
-		obs.Logger().Error("detect: frame loop failed", "frames", n, "seed", seed, "err", err)
-		sp.Release()
-		return nil, err
-	}
 	// The profiles live in pooled buffers; hand them back once the run is
-	// done with them (nothing in Result references them).
+	// done with them (nothing in Result references them). Dropped or
+	// never-run frames hold zero-value profiles, which release as no-ops.
 	defer func() {
 		for _, fd := range frames {
 			radar.ReleaseProfile(fd.det)
 			radar.ReleaseProfile(fd.dec)
 		}
 	}()
+
+	// A frame whose worker failed (recovered panic, injected or real) is a
+	// lost frame, not a lost read: mark it dropped and let the degradation
+	// budget decide.
+	cancelled := errors.Is(ferr, roserr.ErrReadCancelled)
+	if ferr != nil {
+		pointErrs := sweep.PointErrors(ferr)
+		if len(pointErrs) == 0 && !cancelled {
+			sp.Release()
+			return nil, ferr
+		}
+		for _, pe := range pointErrs {
+			if pe.Index < 0 || pe.Index >= len(frames) {
+				continue
+			}
+			fd := &frames[pe.Index]
+			if fd.ok || fd.dropped {
+				continue
+			}
+			if errors.Is(pe.Err, roserr.ErrReadCancelled) || errors.Is(pe.Err, context.Canceled) ||
+				errors.Is(pe.Err, context.DeadlineExceeded) {
+				// The frame never produced data because the read was cut
+				// short mid-frame, not because it was lost.
+				done[pe.Index] = false
+				continue
+			}
+			fd.dropped = true
+		}
+	}
+	completed, dropped, scrubbed := 0, 0, 0
+	for i := range frames {
+		if frames[i].ok {
+			completed++
+		} else if done[i] && frames[i].dropped {
+			dropped++
+		}
+		scrubbed += frames[i].scrubbed
+	}
+	if dropped > 0 {
+		mFramesDropped.Add(int64(dropped))
+	}
+	if scrubbed > 0 {
+		mSamplesScrubbed.Add(int64(scrubbed))
+	}
+
+	// partial finalizes a run cut short at a frame or stage boundary.
+	partial := func(res *Result) *Result {
+		if res == nil {
+			res = &Result{TagIndex: -1}
+		}
+		res.Partial = true
+		res.FramesCompleted = completed
+		res.FramesDropped = dropped
+		res.SamplesScrubbed = scrubbed
+		sp.End()
+		res.Span = sp
+		res.Stats = StatsFromSpan(sp)
+		return res
+	}
+
+	if cancelled {
+		obs.Logger().Warn("detect: run cancelled during frame synthesis",
+			"completed", completed, "of", n, "seed", seed)
+		return partial(nil), fmt.Errorf("detect: read cancelled after %d/%d frames: %w", completed, n, ferr)
+	}
+	if float64(dropped) > maxLoss*float64(n) {
+		obs.Logger().Error("detect: frame loss beyond budget",
+			"dropped", dropped, "of", n, "budget", maxLoss, "seed", seed)
+		return partial(nil), fmt.Errorf("detect: %d/%d frames lost (budget %.0f%%): %w",
+			dropped, n, 100*maxLoss, roserr.ErrFrameCorrupt)
+	}
+	if dropped > 0 || scrubbed > 0 {
+		obs.Logger().Warn("detect: degraded run continues",
+			"dropped", dropped, "of", n, "scrubbed_samples", scrubbed, "seed", seed)
+	}
+
 	total := 0
 	for _, fd := range frames {
 		total += len(fd.points)
@@ -395,6 +649,14 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 	clusterSp.End()
 	clusterSp.SetAttr("points", len(merged))
 
+	res := &Result{TagIndex: -1, MergedPoints: merged,
+		FramesCompleted: completed, FramesDropped: dropped, SamplesScrubbed: scrubbed}
+
+	// Stage boundary: clustering done, spotlighting next.
+	if err := context.Cause(ctx); err != nil {
+		return partial(res), fmt.Errorf("detect: read cancelled after clustering: %w: %w", roserr.ErrReadCancelled, err)
+	}
+
 	// Spotlight pass: classify every cluster that survived the density
 	// filter. Objects are independent and draw no randomness, so they fan
 	// out on the sweep pool; sweep.Run returns reports in candidate order,
@@ -409,15 +671,18 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 	}
 	spotSp.SetAttr("objects", len(cands))
 	spotSp.SetAttr("workers", resolveWorkers(p.Workers, max(len(cands), n)))
-	res := &Result{TagIndex: -1, MergedPoints: merged}
 	if len(cands) > 0 {
-		reports, err := sweep.Run(len(cands), p.Workers, func(ci int) (ObjectReport, error) {
+		reports, _, err := sweep.RunCtx(ctx, len(cands), p.Workers, func(_ context.Context, ci int) (ObjectReport, error) {
 			t0 := time.Now()
 			report := p.classifyObject(cands[ci], frames, truth, lossThresh, extThresh)
 			spotSp.Add(time.Since(t0))
 			return report, nil
 		})
 		if err != nil {
+			spotSp.End()
+			if errors.Is(err, roserr.ErrReadCancelled) {
+				return partial(res), fmt.Errorf("detect: read cancelled during spotlighting: %w", err)
+			}
 			obs.Logger().Error("detect: spotlight pass failed", "objects", len(cands), "seed", seed, "err", err)
 			sp.Release()
 			return nil, err
@@ -460,19 +725,28 @@ func (p *Pipeline) Run(sc *scene.Scene, truth, est []geom.Vec3, vel geom.Vec3, s
 
 	// Pass 2: sample the tag's decode-mode RSS over u using the estimated
 	// geometry. Frames are independent here too, so the sampling fans out
-	// on the pool and the samples are appended in frame order.
+	// on the pool and the samples are appended in frame order. Frames
+	// without usable profiles contribute no samples — the decoder reads
+	// from the remaining aggregate at reduced confidence.
 	azCap := p.DecodeAzimuthCapDeg
 	if azCap <= 0 {
 		azCap = 60
 	}
 	tagPos := res.Objects[res.TagIndex].Centroid
-	samples, err := sweep.Run(n, p.Workers, func(i int) (tagSample, error) {
+	samples, _, err := sweep.RunCtx(ctx, n, p.Workers, func(_ context.Context, i int) (tagSample, error) {
+		if !frames[i].ok {
+			return tagSample{}, nil
+		}
 		t0 := time.Now()
 		s := p.sampleTagFrame(frames[i].dec, est[i], tagPos, azCap)
 		spotSp.Add(time.Since(t0))
 		return s, nil
 	})
 	if err != nil {
+		spotSp.End()
+		if errors.Is(err, roserr.ErrReadCancelled) {
+			return partial(res), fmt.Errorf("detect: read cancelled during RCS sampling: %w", err)
+		}
 		obs.Logger().Error("detect: decode sampling pass failed", "frames", n, "seed", seed, "err", err)
 		sp.Release()
 		return nil, err

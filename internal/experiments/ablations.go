@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"ros/internal/coding"
@@ -35,7 +36,7 @@ func decodeWith(out *sim.Outcome, window dsp.Window, disableDetrend bool) float6
 // AblationPolSwitch quantifies Sec 4.2's claim that "the benefit from
 // polarization switching is more than 14 dB": decoding with the PSVAA
 // against the same pass with a plain (co-polarized) VAA tag amid clutter.
-func AblationPolSwitch() *Table {
+func AblationPolSwitch(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Ablation: polarization switching",
 		Title:   "decoding with vs without the PSVAA's polarization switching (clutter present)",
@@ -43,8 +44,8 @@ func AblationPolSwitch() *Table {
 		Notes: "paper Sec 4.2: switching costs 6 dB of RCS but buys > 14 dB " +
 			"of clutter suppression — a clear net win near clutter",
 	}
-	on := mustRun(sim.DriveBy{BeamShaped: true, WithClutter: true, Seed: 500})
-	off := mustRun(sim.DriveBy{BeamShaped: true, WithClutter: true, DisablePolSwitching: true, Seed: 500})
+	on := mustRun(ctx, sim.DriveBy{BeamShaped: true, WithClutter: true, Seed: 500})
+	off := mustRun(ctx, sim.DriveBy{BeamShaped: true, WithClutter: true, DisablePolSwitching: true, Seed: 500})
 	t.AddRow("PSVAA (switching on)", snrCell(on), on.Bits)
 	t.AddRow("plain VAA (switching off)", snrCell(off), off.Bits)
 	if on.Detected && off.Detected && !math.IsInf(off.SNRdB, -1) {
@@ -54,7 +55,7 @@ func AblationPolSwitch() *Table {
 }
 
 // AblationWindow compares spectral windows in the decoder.
-func AblationWindow() *Table {
+func AblationWindow(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Ablation: spectrum window",
 		Title:   "decoder window choice on the same pass",
@@ -62,7 +63,7 @@ func AblationWindow() *Table {
 		Notes: "rectangular leaks strong coding peaks into neighbouring " +
 			"slots; Hann (the default) balances leakage and resolution",
 	}
-	out := mustRun(sim.DriveBy{BeamShaped: true, WithClutter: true, Seed: 501})
+	out := mustRun(ctx, sim.DriveBy{BeamShaped: true, WithClutter: true, Seed: 501})
 	for _, w := range []dsp.Window{dsp.Rectangular, dsp.Hann, dsp.Hamming, dsp.Blackman} {
 		snr := decodeWith(out, w, false)
 		cell := "lost"
@@ -76,7 +77,7 @@ func AblationWindow() *Table {
 
 // AblationDetrend compares decoding with and without stripping the
 // single-stack envelope r_T(theta) before the FFT (Sec 5.1/6).
-func AblationDetrend() *Table {
+func AblationDetrend(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Ablation: envelope detrending",
 		Title:   "decoding with vs without r_T(theta) envelope removal",
@@ -85,7 +86,7 @@ func AblationDetrend() *Table {
 			"energy across the coding band unless removed (Sec 6's " +
 			"normalization step)",
 	}
-	out := mustRun(sim.DriveBy{BeamShaped: true, Seed: 502})
+	out := mustRun(ctx, sim.DriveBy{BeamShaped: true, Seed: 502})
 	with := decodeWith(out, dsp.Hann, false)
 	without := decodeWith(out, dsp.Hann, true)
 	cell := func(v float64) string {
@@ -101,7 +102,7 @@ func AblationDetrend() *Table {
 
 // AblationSampling sweeps the per-pass frame budget against Eq 9's Nyquist
 // requirement.
-func AblationSampling() *Table {
+func AblationSampling(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Ablation: RCS sampling density",
 		Title:   "decoding SNR vs frames per pass (Eq 9 Nyquist bound)",
@@ -110,7 +111,7 @@ func AblationSampling() *Table {
 			"(Sec 5.3); oversampling beyond that buys averaging gain",
 	}
 	for _, frames := range []int{48, 96, 192, 280} {
-		out := mustRun(sim.DriveBy{BeamShaped: true, FrameBudget: frames, Seed: 503})
+		out := mustRun(ctx, sim.DriveBy{BeamShaped: true, FrameBudget: frames, Seed: 503})
 		t.AddRow(itoa(frames), snrCell(out), out.Bits)
 	}
 	return t
@@ -119,7 +120,7 @@ func AblationSampling() *Table {
 // AblationGroundMultipath adds the two-ray road bounce the paper's
 // evaluation setup avoids (tags on tripods, short ranges) and shows the
 // frequency-domain code shrugging it off.
-func AblationGroundMultipath() *Table {
+func AblationGroundMultipath(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Ablation: ground multipath",
 		Title:   "two-ray road-surface bounce on vs off",
@@ -130,15 +131,15 @@ func AblationGroundMultipath() *Table {
 			"detection at unlucky geometries",
 	}
 	for _, d := range []float64{2, 3, 4} {
-		flat := mustRun(sim.DriveBy{BeamShaped: true, Standoff: d, Seed: 800 + int64(d)})
-		bounce := mustRun(sim.DriveBy{BeamShaped: true, Standoff: d, GroundMultipath: true, Seed: 800 + int64(d)})
+		flat := mustRun(ctx, sim.DriveBy{BeamShaped: true, Standoff: d, Seed: 800 + int64(d)})
+		bounce := mustRun(ctx, sim.DriveBy{BeamShaped: true, Standoff: d, GroundMultipath: true, Seed: 800 + int64(d)})
 		t.AddRow(f1(d), snrCell(flat), snrCell(bounce))
 	}
 	return t
 }
 
 // AblationADC sweeps the baseband converter resolution.
-func AblationADC() *Table {
+func AblationADC(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Ablation: ADC resolution",
 		Title:   "decoding SNR vs baseband ADC bits",
@@ -150,10 +151,10 @@ func AblationADC() *Table {
 	for _, bits := range []int{4, 6, 8, 12} {
 		cfg := radar.TI1443()
 		cfg.ADCBits = bits
-		out := mustRun(sim.DriveBy{BeamShaped: true, Radar: &cfg, Seed: 801})
+		out := mustRun(ctx, sim.DriveBy{BeamShaped: true, Radar: &cfg, Seed: 801})
 		t.AddRow(itoa(bits), snrCell(out), out.Bits)
 	}
-	ideal := mustRun(sim.DriveBy{BeamShaped: true, Seed: 801})
+	ideal := mustRun(ctx, sim.DriveBy{BeamShaped: true, Seed: 801})
 	t.AddRow("ideal", snrCell(ideal), ideal.Bits)
 	return t
 }
@@ -161,7 +162,7 @@ func AblationADC() *Table {
 // AblationWavelength probes the decoder's sensitivity to an incorrect
 // wavelength assumption: the spacing axis of the RCS spectrum scales with
 // lambda, so a mis-assumed carrier shifts every coding peak off its slot.
-func AblationWavelength() *Table {
+func AblationWavelength(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Ablation: wavelength assumption",
 		Title:   "decoding with a wrong carrier-frequency assumption",
@@ -170,7 +171,7 @@ func AblationWavelength() *Table {
 			"carrier error shifts the 10.5-lambda peak by ~0.4 lambda, " +
 			"half a slot tolerance — the decoder must know the band it reads",
 	}
-	out := mustRun(sim.DriveBy{BeamShaped: true, Seed: 810})
+	out := mustRun(ctx, sim.DriveBy{BeamShaped: true, Seed: 810})
 	if !out.Detected {
 		t.AddRow("n/a", "lost", "")
 		return t

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"context"
+
+	"ros/internal/fault"
+	"ros/internal/sim"
+)
+
+// ChaosFaultSweep measures graceful degradation under injected faults: one
+// canonical drive-by per frame-loss rate, reporting how many frames survived,
+// how many samples were scrubbed, and whether the tag still decoded. It backs
+// the measured fault-rate curve of docs/ROBUSTNESS.md: the decoder reads from
+// the aggregate of azimuth samples, so losing a random subset of frames
+// lowers SNR smoothly instead of breaking the read.
+func ChaosFaultSweep(ctx context.Context) *Table {
+	t := &Table{
+		ID:    "Chaos",
+		Title: "decoding under injected frame loss and sample corruption",
+		Columns: []string{"drop rate", "frames kept", "dropped", "scrubbed",
+			"SNR (dB)", "bits", "correct"},
+		Notes: "expected: correct decode with gently falling SNR through 20% " +
+			"frame loss; reads fail typed (ErrFrameCorrupt) only past the " +
+			"50% loss budget",
+	}
+	rates := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	var cfgs []sim.DriveBy
+	for i, rate := range rates {
+		cfgs = append(cfgs, sim.DriveBy{
+			BeamShaped: true,
+			Seed:       190 + int64(i),
+			Fault: &fault.Config{
+				Seed:          190 + int64(i),
+				FrameDropRate: rate,
+				CorruptRate:   rate,
+			},
+		})
+	}
+	outs := runAll(ctx, cfgs)
+	for i, rate := range rates {
+		o := outs[i]
+		correct := "no"
+		if o.Correct {
+			correct = "yes"
+		}
+		t.AddRow(f2(rate), itoa(o.FramesCompleted), itoa(o.FramesDropped),
+			itoa(o.SamplesScrubbed), snrCell(o), o.Bits, correct)
+	}
+	return t
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"ros/internal/coding"
 	"ros/internal/em"
 )
@@ -8,7 +9,7 @@ import (
 // Fig10 regenerates Fig 10: the 4-bit example tag (M = 5, delta_c = 1.5
 // lambda) — its layout, the multi-stack RCS across azimuth, and the RCS
 // frequency spectrum with four coding peaks at 6, 7.5, 9, 10.5 lambda.
-func Fig10() *Table {
+func Fig10(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 10",
 		Title:   "4-bit spatial code: layout and RCS frequency spectrum",
@@ -58,7 +59,7 @@ func Fig10() *Table {
 
 // Capacity regenerates the Sec 5.3 capacity/tradeoff table: tag width,
 // far-field distance and maximum vehicle speed versus coding bits.
-func Capacity() *Table {
+func Capacity(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "Capacity",
 		Title: "Sec 5.3 encoding capacity model (delta_c = 1.5 lambda)",

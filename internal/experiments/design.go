@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"ros/internal/beamshape"
@@ -17,7 +18,7 @@ const fc = em.CenterFrequency
 // antenna pairs across 76-81 GHz, reported per pair. The paper's takeaway:
 // the per-pair contribution is maximized at 3 pairs and only changes
 // marginally beyond.
-func Fig03() *Table {
+func Fig03(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 3",
 		Title:   "RCS vs number of antenna pairs, 76-81 GHz band average",
@@ -42,7 +43,7 @@ func Fig03() *Table {
 
 // Fig04a regenerates Fig 4a: monostatic RCS of a 3-pair VAA vs the 6-patch
 // ULA across azimuth. VAA: flat within ~120 deg; ULA: specular.
-func Fig04a() *Table {
+func Fig04a(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 4a",
 		Title:   "monostatic RCS vs azimuth: VAA (retro) vs ULA (specular)",
@@ -64,7 +65,7 @@ func Fig04a() *Table {
 // Fig04b regenerates Fig 4b: bistatic RCS with illumination at 30 deg. The
 // VAA redirects to +30 deg, the ULA mirrors to -30 deg; VAA leakage
 // elsewhere is 5-13 dB below its retro lobe.
-func Fig04b() *Table {
+func Fig04b(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 4b",
 		Title:   "bistatic RCS, illumination at 30 deg",
@@ -86,7 +87,7 @@ func Fig04b() *Table {
 
 // Fig05 regenerates Fig 5: PSVAA vs original VAA under cross-polarized and
 // co-polarized Tx/Rx.
-func Fig05() *Table {
+func Fig05(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "Fig 5",
 		Title: "PSVAA vs VAA monostatic RCS, cross-pol and co-pol Tx/Rx",
@@ -110,7 +111,7 @@ func Fig05() *Table {
 
 // Fig06 regenerates Fig 6: PSVAA RCS across 76-81 GHz for both polarization
 // pairings, at broadside and 30 deg.
-func Fig06() *Table {
+func Fig06(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "Fig 6",
 		Title: "PSVAA RCS across the 76-81 GHz band",
@@ -132,7 +133,7 @@ func Fig06() *Table {
 // Fig08 regenerates Fig 8: the elevation pattern of an 8-module stack with
 // DE-GA beam shaping vs the uniform baseline, plus the paper's fabricated
 // phase layout.
-func Fig08() *Table {
+func Fig08(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "Fig 8",
 		Title: "elevation pattern: DE-GA beam shaping vs uniform stack (8 modules)",
@@ -175,7 +176,7 @@ func Fig08() *Table {
 
 // PairBound regenerates the Sec 4.1 design-rule table: the TL dispersion
 // bound and the implied maximum pair count.
-func PairBound() *Table {
+func PairBound(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Pair bound",
 		Title:   "Sec 4.1 TL dispersion bound",

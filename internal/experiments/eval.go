@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"ros/internal/em"
@@ -11,10 +12,12 @@ import (
 )
 
 // mustRun executes a drive-by and panics on configuration errors
-// (experiment definitions are static, so errors are programmer errors). The
-// failing configuration is logged first so the panic has context.
-func mustRun(cfg sim.DriveBy) *sim.Outcome {
-	out, err := sim.Run(cfg)
+// (experiment definitions are static, so errors are programmer errors). A
+// cancelled context also surfaces as a panic — carrying the typed
+// roserr.ErrReadCancelled — which cmd/rosbench recovers into a clean exit.
+// The failing configuration is logged first so the panic has context.
+func mustRun(ctx context.Context, cfg sim.DriveBy) *sim.Outcome {
+	out, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		obs.Logger().Error("experiments: drive-by failed",
 			"bits", cfg.Bits, "seed", cfg.Seed, "standoff", cfg.Standoff, "err", err)
@@ -24,9 +27,13 @@ func mustRun(cfg sim.DriveBy) *sim.Outcome {
 }
 
 // runAll executes independent drive-bys on a worker pool, preserving order.
-// sweep.Run has already logged each failing point with its index.
-func runAll(cfgs []sim.DriveBy) []*sim.Outcome {
-	outs, err := sweep.Map(cfgs, 0, sim.Run)
+// The pool has already logged each failing point with its index; like
+// mustRun, failures (including cancellation) surface as a panic carrying the
+// typed error.
+func runAll(ctx context.Context, cfgs []sim.DriveBy) []*sim.Outcome {
+	outs, _, err := sweep.MapCtx(ctx, cfgs, 0, func(ctx context.Context, cfg sim.DriveBy) (*sim.Outcome, error) {
+		return sim.RunContext(ctx, cfg)
+	})
 	if err != nil {
 		obs.Logger().Error("experiments: sweep failed",
 			"points", len(cfgs), "err", err)
@@ -53,7 +60,7 @@ func rssCell(o *sim.Outcome) string {
 
 // Fig14 regenerates Fig 14: RSS and decoding SNR vs elevation angle for
 // beam-shaped tags and the unshaped baseline, radar fixed 3 m away.
-func Fig14() *Table {
+func Fig14(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "Fig 14",
 		Title: "elevation misalignment, 3 m standoff: beam shaping vs baseline",
@@ -70,7 +77,7 @@ func Fig14() *Table {
 			sim.DriveBy{BeamShaped: true, HeightOffset: h, Seed: 140 + int64(deg*10)},
 			sim.DriveBy{BeamShaped: false, HeightOffset: h, Seed: 140 + int64(deg*10)})
 	}
-	outs := runAll(cfgs)
+	outs := runAll(ctx, cfgs)
 	for i, deg := range degs {
 		shaped, base := outs[2*i], outs[2*i+1]
 		t.AddRow(f1(deg), rssCell(shaped), rssCell(base), snrCell(shaped), snrCell(base))
@@ -80,7 +87,7 @@ func Fig14() *Table {
 
 // Fig15 regenerates Fig 15: RSS and SNR vs radar-to-tag distance for tags
 // with 8, 16 and 32 PSVAAs per stack.
-func Fig15() *Table {
+func Fig15(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "Fig 15",
 		Title: "radar-to-tag distance sweep for 8/16/32-module stacks",
@@ -101,7 +108,7 @@ func Fig15() *Table {
 			})
 		}
 	}
-	outs := runAll(cfgs)
+	outs := runAll(ctx, cfgs)
 	for i, d := range dists {
 		row := []string{f1(d)}
 		group := outs[i*len(mods) : (i+1)*len(mods)]
@@ -118,7 +125,7 @@ func Fig15() *Table {
 
 // Fig16a regenerates Fig 16a: two tags side by side at spread angles of
 // 10-30 degrees.
-func Fig16a() *Table {
+func Fig16a(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 16a",
 		Title:   "adjacent-tag interference vs spread angle (two tags, 3 m)",
@@ -130,7 +137,7 @@ func Fig16a() *Table {
 	for _, a := range angles {
 		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, SecondTagSpreadDeg: a, Seed: 160 + int64(a)})
 	}
-	outs := runAll(cfgs)
+	outs := runAll(ctx, cfgs)
 	for i, a := range angles {
 		t.AddRow(f1(a), snrCell(outs[i]))
 	}
@@ -138,7 +145,7 @@ func Fig16a() *Table {
 }
 
 // Fig16b regenerates Fig 16b: a second interrogating radar 1-3 m away.
-func Fig16b() *Table {
+func Fig16b(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 16b",
 		Title:   "adjacent-radar interference vs radar separation",
@@ -151,7 +158,7 @@ func Fig16b() *Table {
 	for _, s := range seps {
 		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, InterfererSeparation: s, Seed: 161 + int64(s*10)})
 	}
-	outs := runAll(cfgs)
+	outs := runAll(ctx, cfgs)
 	for i, s := range seps {
 		t.AddRow(f1(s), snrCell(outs[i]))
 	}
@@ -159,7 +166,7 @@ func Fig16b() *Table {
 }
 
 // Fig16c regenerates Fig 16c: decoding under fog.
-func Fig16c() *Table {
+func Fig16c(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 16c",
 		Title:   "decoding SNR under fog",
@@ -167,14 +174,14 @@ func Fig16c() *Table {
 		Notes:   "paper: median SNR stays above 15 dB at every fog level",
 	}
 	for _, fog := range []em.FogLevel{em.FogClear, em.FogLight, em.FogHeavy} {
-		out := mustRun(sim.DriveBy{BeamShaped: true, Fog: fog, Seed: 162 + int64(fog)})
+		out := mustRun(ctx, sim.DriveBy{BeamShaped: true, Fog: fog, Seed: 162 + int64(fog)})
 		t.AddRow(fog.String(), snrCell(out))
 	}
 	return t
 }
 
 // Fig16d regenerates Fig 16d: decoding vs relative self-tracking error.
-func Fig16d() *Table {
+func Fig16d(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 16d",
 		Title:   "decoding SNR vs relative tracking error",
@@ -189,7 +196,7 @@ func Fig16d() *Table {
 			cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, TrackingError: pct / 100, Seed: 163 + s})
 		}
 	}
-	outs := runAll(cfgs)
+	outs := runAll(ctx, cfgs)
 	for i, pct := range pcts {
 		// Median over three drift realizations (the paper reports
 		// medians across repeated reads).
@@ -212,7 +219,7 @@ func Fig16d() *Table {
 
 // Fig17 regenerates Fig 17: decoding vs the angular field of view over which
 // the RCS is sampled.
-func Fig17() *Table {
+func Fig17(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 17",
 		Title:   "decoding SNR vs angular field of view",
@@ -226,7 +233,7 @@ func Fig17() *Table {
 	for _, fov := range fovs {
 		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, FoVDeg: fov, Seed: 170})
 	}
-	outs := runAll(cfgs)
+	outs := runAll(ctx, cfgs)
 	for i, fov := range fovs {
 		t.AddRow(f1(fov), snrCell(outs[i]), outs[i].Bits)
 	}
@@ -234,7 +241,7 @@ func Fig17() *Table {
 }
 
 // Fig18 regenerates Fig 18: decoding vs vehicle speed.
-func Fig18() *Table {
+func Fig18(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 18",
 		Title:   "decoding SNR vs vehicle speed",
@@ -247,7 +254,7 @@ func Fig18() *Table {
 	for _, mph := range mphs {
 		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, Speed: geom.MPH(mph), Seed: 180 + int64(mph)})
 	}
-	outs := runAll(cfgs)
+	outs := runAll(ctx, cfgs)
 	for i, mph := range mphs {
 		t.AddRow(f1(mph), snrCell(outs[i]), outs[i].Bits)
 	}
@@ -255,7 +262,7 @@ func Fig18() *Table {
 }
 
 // LinkBudget regenerates the Sec 5.3 / Sec 8 link-budget table.
-func LinkBudget() *Table {
+func LinkBudget(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Link budget",
 		Title:   "Sec 5.3 link budget and maximum reading range",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -46,7 +47,7 @@ func TestRegistryCoversAllPaperArtifacts(t *testing.T) {
 		"Extension: near-field focusing", "Extension: occlusion",
 		"Extension: elevation monopulse", "Extension: localization",
 		"Extension: rain", "Extension: commercial range",
-		"Monte Carlo BER",
+		"Monte Carlo BER", "Chaos",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {
@@ -75,7 +76,7 @@ func TestByID(t *testing.T) {
 }
 
 func TestFig03ShapePerPairOptimum(t *testing.T) {
-	tab := Fig03()
+	tab := Fig03(context.Background())
 	last := tab.Rows[len(tab.Rows)-1]
 	if last[0] != "best" || last[1] != "3" {
 		t.Errorf("Fig 3 best pairs = %v, want 3", last)
@@ -83,7 +84,7 @@ func TestFig03ShapePerPairOptimum(t *testing.T) {
 }
 
 func TestFig04aShape(t *testing.T) {
-	tab := Fig04a()
+	tab := Fig04a(context.Background())
 	// Locate the broadside and 60-degree rows.
 	var vaa0, ula0, vaa60, ula60 float64
 	for _, r := range tab.Rows {
@@ -103,7 +104,7 @@ func TestFig04aShape(t *testing.T) {
 }
 
 func TestFig05ShapeCrossPolGap(t *testing.T) {
-	tab := Fig05()
+	tab := Fig05(context.Background())
 	for _, r := range tab.Rows {
 		if r[0] != "0.0" {
 			continue
@@ -117,7 +118,7 @@ func TestFig05ShapeCrossPolGap(t *testing.T) {
 }
 
 func TestLinkBudgetShape(t *testing.T) {
-	tab := LinkBudget()
+	tab := LinkBudget(context.Background())
 	for _, r := range tab.Rows {
 		if r[0] == "max range (m)" {
 			ti := cellFloat(t, r[1])
@@ -133,7 +134,7 @@ func TestLinkBudgetShape(t *testing.T) {
 }
 
 func TestCapacityShape(t *testing.T) {
-	tab := Capacity()
+	tab := Capacity(context.Background())
 	// Far field grows with bits; the 4-bit row matches the paper's 2.9 m.
 	prev := 0.0
 	for _, r := range tab.Rows {
@@ -154,7 +155,7 @@ func TestCapacityShape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	tab := Fig10()
+	tab := Fig10(context.Background())
 	for _, r := range tab.Rows {
 		if strings.HasPrefix(r[0], "peak @") {
 			if v := cellFloat(t, r[1]); v < 3 {
@@ -165,7 +166,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestPairBoundShape(t *testing.T) {
-	tab := PairBound()
+	tab := PairBound(context.Background())
 	found := false
 	for _, r := range tab.Rows {
 		if r[0] == "max antenna pairs" {

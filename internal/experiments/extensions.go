@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -21,7 +22,7 @@ import (
 // ExtensionCP regenerates the Sec 8 circular-polarization argument: a CP
 // Van Atta preserves handedness (clutter flips it) and recovers the 6 dB
 // PSVAA loss, stretching the link budget.
-func ExtensionCP() *Table {
+func ExtensionCP(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Extension: circular polarization",
 		Title:   "Sec 8 CP-PSVAA: handedness separation without the 6 dB loss",
@@ -50,7 +51,7 @@ func ExtensionCP() *Table {
 
 // ExtensionASK regenerates the Sec 8 ASK argument: multi-level peak
 // amplitudes multiply the per-tag capacity.
-func ExtensionASK() *Table {
+func ExtensionASK(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Extension: ASK modulation",
 		Title:   "Sec 8 multi-level (ASK) spatial coding",
@@ -97,7 +98,7 @@ func ExtensionASK() *Table {
 
 // ExtensionNFFA regenerates the Sec 8 near-field-focusing argument: a
 // focused tall stack stays coherent inside its Fraunhofer bound.
-func ExtensionNFFA() *Table {
+func ExtensionNFFA(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Extension: near-field focusing",
 		Title:   "Sec 8 NFFA: focused vs uniform stacks read at 3 m",
@@ -121,7 +122,7 @@ func ExtensionNFFA() *Table {
 // ExtensionOcclusion quantifies the Sec 7.3 blockage discussion: a parked
 // vehicle shadows part of the pass; longer blockers erode the usable angular
 // view until the read fails, and a redundant tag down the road restores it.
-func ExtensionOcclusion() *Table {
+func ExtensionOcclusion(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Extension: occlusion",
 		Title:   "Sec 7.3 blockage: parked vehicle between the lane and the tag",
@@ -130,8 +131,8 @@ func ExtensionOcclusion() *Table {
 			"installing redundant RoS tags along the road restores the read",
 	}
 	for _, half := range []float64{0, 0.5, 1.5, 3, 4.5} {
-		single := mustRun(sim.DriveBy{BeamShaped: true, BlockerHalfLength: half, Seed: 700})
-		spare := mustRun(sim.DriveBy{
+		single := mustRun(ctx, sim.DriveBy{BeamShaped: true, BlockerHalfLength: half, Seed: 700})
+		spare := mustRun(ctx, sim.DriveBy{
 			BeamShaped: true, BlockerHalfLength: half, Seed: 700,
 			RedundantTagOffset: 8, HalfSpan: 12, FrameBudget: 520,
 		})
@@ -144,7 +145,7 @@ func ExtensionOcclusion() *Table {
 // monopulse between the two Tx illuminations recovers a tag's mounting
 // height — the measurement a 3-D-aware deployment of Sec 7.3's
 // "mount the tags high" mitigation needs.
-func ExtensionElevation() *Table {
+func ExtensionElevation(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Extension: elevation monopulse",
 		Title:   "tag mounting-height estimation with the elevation Tx",
@@ -191,7 +192,7 @@ func ExtensionElevation() *Table {
 // ExtensionLocalization measures how precisely the pipeline localizes the
 // tag — Sec 1's premise: "A vehicle passing by the tag can localize it,
 // measure its reflection pattern, and decode the embedded information."
-func ExtensionLocalization() *Table {
+func ExtensionLocalization(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Extension: localization",
 		Title:   "tag localization error across pass distances",
@@ -205,7 +206,7 @@ func ExtensionLocalization() *Table {
 	for _, d := range dists {
 		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, Standoff: d, Seed: 910 + int64(d)})
 	}
-	outs := runAll(cfgs)
+	outs := runAll(ctx, cfgs)
 	for i, d := range dists {
 		out := outs[i]
 		if !out.Detected {
@@ -220,7 +221,7 @@ func ExtensionLocalization() *Table {
 
 // ExtensionRain sweeps precipitation (Sec 7.3 quotes 3.2 dB/100 m at
 // 100 mm/h): like fog, rain barely dents a 79 GHz link at tag ranges.
-func ExtensionRain() *Table {
+func ExtensionRain(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Extension: rain",
 		Title:   "decoding SNR under rain",
@@ -234,7 +235,7 @@ func ExtensionRain() *Table {
 	for _, r := range rates {
 		cfgs = append(cfgs, sim.DriveBy{BeamShaped: true, RainMMPerHour: r, Seed: 920})
 	}
-	outs := runAll(cfgs)
+	outs := runAll(ctx, cfgs)
 	for i, r := range rates {
 		t.AddRow(f1(r), snrCell(outs[i]))
 	}
@@ -243,7 +244,7 @@ func ExtensionRain() *Table {
 
 // ExtensionCommercialRange reads tags at multi-lane distances with the
 // Sec 8 commercial front end on a long-range chirp.
-func ExtensionCommercialRange() *Table {
+func ExtensionCommercialRange(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Extension: commercial range",
 		Title:   "Sec 8 commercial front end: reads far beyond the TI radar",
@@ -261,7 +262,7 @@ func ExtensionCommercialRange() *Table {
 			Speed: 10, Seed: 930 + int64(d),
 		})
 	}
-	outs := runAll(cfgs)
+	outs := runAll(ctx, cfgs)
 	for i, d := range dists {
 		t.AddRow(f1(d), snrCell(outs[i]), outs[i].Bits)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,7 +19,7 @@ import (
 // operating point, counts actual bit errors, and compares the measured BER
 // against the OOK prediction at the measured median SNR, closing the loop
 // on the paper's Sec 7.1 methodology.
-func MonteCarloBER() *Table {
+func MonteCarloBER(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "Monte Carlo BER",
 		Title: "measured bit errors vs the Sec 7.1 OOK model across a noise sweep",
@@ -48,7 +49,7 @@ func MonteCarloBER() *Table {
 				Seed:         int64(9000 + i),
 			}
 		}
-		outs := runAll(cfgs)
+		outs := runAll(ctx, cfgs)
 
 		bitsTotal, bitErrors, missed := 0, 0, 0
 		var snrs []float64

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -55,7 +56,7 @@ func runPipeline(sc *scene.Scene, seed int64) *detect.Result {
 // Fig11 regenerates Fig 11: detecting and decoding a tag next to a tripod —
 // merged point-cloud clusters, per-object features, and the tag's decoded
 // spectrum peaks.
-func Fig11() *Table {
+func Fig11(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 11",
 		Title:   "tag + tripod scene: clusters, RSS features, decoded peaks",
@@ -123,7 +124,7 @@ func boolCell(b bool) string {
 
 // Fig13 regenerates Fig 13: RSS loss and point-cloud size for the tag next
 // to each ordinary object class.
-func Fig13() *Table {
+func Fig13(ctx context.Context) *Table {
 	t := &Table{
 		ID:      "Fig 13",
 		Title:   "tag-detection features per object class",

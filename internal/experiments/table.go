@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -85,10 +86,12 @@ func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 // f3 formats a float with three decimals.
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 
-// Generator produces one experiment table.
+// Generator produces one experiment table. Run takes the sweep's context:
+// generators stop at the next drive-by boundary when it is cancelled
+// (surfacing the typed cancellation via panic, which cmd/rosbench recovers).
 type Generator struct {
 	ID  string
-	Run func() *Table
+	Run func(context.Context) *Table
 }
 
 // Registry lists every experiment in paper order. It is the backing of
@@ -119,6 +122,7 @@ func Registry() []Generator {
 		{"Extension: rain", ExtensionRain},
 		{"Extension: commercial range", ExtensionCommercialRange},
 		{"Monte Carlo BER", MonteCarloBER},
+		{"Chaos", ChaosFaultSweep},
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"ros/internal/em"
+	"ros/internal/roserr"
 )
 
 // Config describes one radar.
@@ -50,27 +51,29 @@ func TI1443() Config {
 	}
 }
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. Every rejection
+// wraps roserr.ErrConfig, so misconfiguration is distinguishable from
+// runtime faults by errors.Is.
 func (c Config) Validate() error {
 	switch {
 	case c.CenterFrequency <= 0:
-		return fmt.Errorf("radar: non-positive carrier %g", c.CenterFrequency)
+		return fmt.Errorf("radar: %w: non-positive carrier %g", roserr.ErrConfig, c.CenterFrequency)
 	case c.Slope <= 0:
-		return fmt.Errorf("radar: non-positive slope %g", c.Slope)
+		return fmt.Errorf("radar: %w: non-positive slope %g", roserr.ErrConfig, c.Slope)
 	case c.SampleRate <= 0:
-		return fmt.Errorf("radar: non-positive sample rate %g", c.SampleRate)
+		return fmt.Errorf("radar: %w: non-positive sample rate %g", roserr.ErrConfig, c.SampleRate)
 	case c.Samples < 8:
-		return fmt.Errorf("radar: need at least 8 samples, got %d", c.Samples)
+		return fmt.Errorf("radar: %w: need at least 8 samples, got %d", roserr.ErrConfig, c.Samples)
 	case c.FrameRate <= 0:
-		return fmt.Errorf("radar: non-positive frame rate %g", c.FrameRate)
+		return fmt.Errorf("radar: %w: non-positive frame rate %g", roserr.ErrConfig, c.FrameRate)
 	case c.NumRx < 1:
-		return fmt.Errorf("radar: need at least 1 Rx antenna, got %d", c.NumRx)
+		return fmt.Errorf("radar: %w: need at least 1 Rx antenna, got %d", roserr.ErrConfig, c.NumRx)
 	case c.RxSpacing <= 0:
-		return fmt.Errorf("radar: non-positive Rx spacing %g", c.RxSpacing)
+		return fmt.Errorf("radar: %w: non-positive Rx spacing %g", roserr.ErrConfig, c.RxSpacing)
 	case c.ADCBits < 0 || c.ADCBits > 30:
 		// 0 models an ideal converter; anything past 30 bits would
 		// silently overflow the quantizer's level shift.
-		return fmt.Errorf("radar: ADC bits %d outside [1, 30] (0 disables quantization)", c.ADCBits)
+		return fmt.Errorf("radar: %w: ADC bits %d outside [1, 30] (0 disables quantization)", roserr.ErrConfig, c.ADCBits)
 	}
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"ros/internal/roserr"
 )
 
 // Elevation sensing. The IWR1443's third transmitter sits half a wavelength
@@ -33,10 +35,10 @@ func (e ElevationMIMO) Validate() error {
 		return err
 	}
 	if e.TxHeight <= 0 {
-		return fmt.Errorf("radar: non-positive elevation Tx height %g", e.TxHeight)
+		return fmt.Errorf("radar: %w: non-positive elevation Tx height %g", roserr.ErrConfig, e.TxHeight)
 	}
 	if e.NumTx != 2 {
-		return fmt.Errorf("radar: elevation monopulse needs exactly 2 Tx, got %d", e.NumTx)
+		return fmt.Errorf("radar: %w: elevation monopulse needs exactly 2 Tx, got %d", roserr.ErrConfig, e.NumTx)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"ros/internal/dsp"
+	"ros/internal/roserr"
 )
 
 // TDM-MIMO processing. The TI IWR1443 carries 3 Tx antennas; transmitting
@@ -42,10 +43,10 @@ func (m MIMOConfig) Validate() error {
 		return err
 	}
 	if m.NumTx < 1 {
-		return fmt.Errorf("radar: need at least 1 Tx, got %d", m.NumTx)
+		return fmt.Errorf("radar: %w: need at least 1 Tx, got %d", roserr.ErrConfig, m.NumTx)
 	}
 	if m.TxSpacing <= 0 {
-		return fmt.Errorf("radar: non-positive Tx spacing %g", m.TxSpacing)
+		return fmt.Errorf("radar: %w: non-positive Tx spacing %g", roserr.ErrConfig, m.TxSpacing)
 	}
 	return nil
 }

@@ -1,0 +1,28 @@
+package radar
+
+import "math"
+
+// ScrubFrame zeroes every non-finite sample of a frame in place and returns
+// how many samples it repaired. A NaN or Inf anywhere in a channel would
+// otherwise poison that channel's entire range profile through the FFT, so
+// the detection pipeline scrubs corrupted frames before the range transform
+// and counts the repairs on the obs registry; a frame scrubbed beyond the
+// pipeline's repair threshold is dropped as corrupt instead.
+func ScrubFrame(f Frame) int {
+	scrubbed := 0
+	for t, v := range f.Data {
+		re, im := real(v), imag(v)
+		if isFinite(re) && isFinite(im) {
+			continue
+		}
+		f.Data[t] = 0
+		scrubbed++
+	}
+	return scrubbed
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf. Inlined comparison
+// form: NaN fails v == v, ±Inf fails the range check.
+func isFinite(v float64) bool {
+	return v == v && v <= math.MaxFloat64 && v >= -math.MaxFloat64
+}

@@ -1,0 +1,43 @@
+// Package roserr defines the typed error taxonomy of the read pipeline.
+// Every non-transient failure mode that crosses a package boundary wraps one
+// of these sentinels, so callers branch on errors.Is instead of string
+// matching, and the public ros package re-exports them verbatim.
+//
+// Cancellation errors additionally wrap the context cause, so both
+// errors.Is(err, roserr.ErrReadCancelled) and
+// errors.Is(err, context.DeadlineExceeded) hold for a deadline-expired read.
+package roserr
+
+import "errors"
+
+var (
+	// ErrConfig marks an invalid or inconsistent configuration: bad radar
+	// parameters, impossible sweep geometry, malformed decoder settings.
+	// Configuration errors are programmer errors, never degradation — the
+	// fault-injection layer refuses to start on one rather than masking it
+	// as a runtime fault.
+	ErrConfig = errors.New("invalid configuration")
+
+	// ErrReadCancelled marks a read cut short by context cancellation or a
+	// deadline. The wrapped chain also carries the context cause, so
+	// errors.Is(err, context.DeadlineExceeded) distinguishes a deadline from
+	// an explicit cancel.
+	ErrReadCancelled = errors.New("read cancelled")
+
+	// ErrFrameCorrupt marks frame-level data corruption: non-finite samples
+	// beyond the scrubber's repair threshold, dropped frames past the
+	// degradation budget, or a worker that died synthesizing a frame.
+	ErrFrameCorrupt = errors.New("frame corrupt")
+
+	// ErrNoTag marks a read that completed but produced no decodable tag:
+	// nothing classified, or too few RCS samples to archive or decode.
+	ErrNoTag = errors.New("no tag detected")
+
+	// ErrUndecodable marks a detected tag whose RCS samples defeated the
+	// spectral decoder (degenerate u span, empty coding band).
+	ErrUndecodable = errors.New("tag undecodable")
+
+	// ErrWorkerPanic marks a recovered panic on the sweep worker pool; the
+	// concrete sweep.PanicError carries the panic value and stack trace.
+	ErrWorkerPanic = errors.New("worker panicked")
+)

@@ -1,0 +1,38 @@
+package roserr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestSentinelsDistinct guards against two sentinels aliasing each other:
+// errors.Is on one must never match another.
+func TestSentinelsDistinct(t *testing.T) {
+	all := []error{ErrConfig, ErrReadCancelled, ErrFrameCorrupt, ErrNoTag,
+		ErrUndecodable, ErrWorkerPanic}
+	for i, a := range all {
+		for j, b := range all {
+			if (i == j) != errors.Is(a, b) {
+				t.Errorf("sentinel %d vs %d: Is = %v", i, j, errors.Is(a, b))
+			}
+		}
+	}
+}
+
+// TestDualWrap verifies the cancellation convention: an error wrapping both
+// ErrReadCancelled and a context cause matches each independently.
+func TestDualWrap(t *testing.T) {
+	err := fmt.Errorf("read stopped after 3 frames: %w: %w",
+		ErrReadCancelled, context.DeadlineExceeded)
+	if !errors.Is(err, ErrReadCancelled) {
+		t.Error("does not match ErrReadCancelled")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("does not match context.DeadlineExceeded")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Error("matches context.Canceled spuriously")
+	}
+}

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,9 +16,11 @@ import (
 	"ros/internal/detect"
 	"ros/internal/dsp"
 	"ros/internal/em"
+	"ros/internal/fault"
 	"ros/internal/geom"
 	"ros/internal/obs"
 	"ros/internal/radar"
+	"ros/internal/roserr"
 	"ros/internal/scene"
 	"ros/internal/stack"
 	"ros/internal/track"
@@ -45,6 +48,8 @@ var (
 		"decoding SNR of detected passes (dB)", obs.LinearBuckets(-10, 5, 13))
 	hBER = obs.Default.Histogram("ros_read_ber",
 		"OOK bit error rate implied by the decoding SNR", obs.LogBuckets(1e-12, 1, 1))
+	mPartial = obs.Default.Counter("ros_reads_partial_total",
+		"passes cut short by cancellation or frame loss beyond budget")
 )
 
 // DriveBy configures one pass.
@@ -108,6 +113,52 @@ type DriveBy struct {
 	// Workers is the worker count for the per-frame radar loop; 0 uses
 	// GOMAXPROCS.
 	Workers int
+	// Fault enables deterministic fault injection in the frame loop (see
+	// internal/fault); nil injects nothing. Fault decisions draw from a
+	// salted seed stream, so they never perturb the physics randomness.
+	Fault *fault.Config
+	// MaxFrameLoss is the tolerated fraction of frames lost before the pass
+	// fails with roserr.ErrFrameCorrupt; 0 uses the pipeline default (0.5).
+	MaxFrameLoss float64
+}
+
+// Validate reports whether the pass configuration is usable. It checks the
+// fields as given (before defaulting), wrapping every rejection in
+// roserr.ErrConfig.
+func (d DriveBy) Validate() error {
+	switch {
+	case d.StackModules < 0:
+		return fmt.Errorf("sim: %w: negative stack modules %d", roserr.ErrConfig, d.StackModules)
+	case d.Standoff < 0 || math.IsNaN(d.Standoff):
+		return fmt.Errorf("sim: %w: negative standoff %g", roserr.ErrConfig, d.Standoff)
+	case d.HalfSpan < 0 || math.IsNaN(d.HalfSpan):
+		return fmt.Errorf("sim: %w: negative half-span %g", roserr.ErrConfig, d.HalfSpan)
+	case d.Speed < 0 || math.IsNaN(d.Speed):
+		return fmt.Errorf("sim: %w: negative speed %g", roserr.ErrConfig, d.Speed)
+	case d.RainMMPerHour < 0 || math.IsNaN(d.RainMMPerHour):
+		return fmt.Errorf("sim: %w: negative rain rate %g", roserr.ErrConfig, d.RainMMPerHour)
+	case d.TrackingError < 0 || math.IsNaN(d.TrackingError):
+		return fmt.Errorf("sim: %w: negative tracking error %g", roserr.ErrConfig, d.TrackingError)
+	case d.FoVDeg < 0 || d.FoVDeg > 180:
+		return fmt.Errorf("sim: %w: FoV %g outside [0, 180]", roserr.ErrConfig, d.FoVDeg)
+	case d.FrameBudget < 0:
+		return fmt.Errorf("sim: %w: negative frame budget %d", roserr.ErrConfig, d.FrameBudget)
+	case d.Workers < 0:
+		return fmt.Errorf("sim: %w: negative worker count %d", roserr.ErrConfig, d.Workers)
+	case d.MaxFrameLoss < 0 || d.MaxFrameLoss > 1 || math.IsNaN(d.MaxFrameLoss):
+		return fmt.Errorf("sim: %w: max frame loss %g outside [0, 1]", roserr.ErrConfig, d.MaxFrameLoss)
+	}
+	if d.Fault != nil {
+		if err := d.Fault.Validate(); err != nil {
+			return err
+		}
+	}
+	if d.Radar != nil {
+		if err := d.Radar.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Stats counts the work done by one pass. It is a flat view derived from
@@ -157,6 +208,14 @@ type Outcome struct {
 	Detection *detect.Result
 	// Decode carries the decoder result (nil when undetected).
 	Decode *coding.Result
+	// Partial marks a pass cut short by cancellation or frame loss beyond
+	// the budget; the accompanying error carries the cause (it matches
+	// roserr.ErrReadCancelled or roserr.ErrFrameCorrupt by errors.Is).
+	Partial bool
+	// FramesCompleted and FramesDropped count frame poses that produced
+	// usable profiles and poses lost to faults; SamplesScrubbed counts
+	// non-finite baseband samples repaired before the range transform.
+	FramesCompleted, FramesDropped, SamplesScrubbed int
 	// Span is the pass's trace tree: a "read" root adopting the "detect"
 	// subtree plus a "decode" stage. Callers that do not retain it may
 	// Release it to return the nodes to the span pool.
@@ -215,8 +274,22 @@ func buildStack(modules int, shaped bool) *stack.Stack {
 	return stack.NewUniform(modules)
 }
 
-// Run executes the pass.
+// Run executes the pass without cancellation; see RunContext.
 func Run(cfg DriveBy) (*Outcome, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the pass under ctx. Cancellation is cooperative at
+// frame and stage boundaries: a cancelled or deadline-expired pass returns
+// promptly with a partial Outcome (Partial set, frame counters filled) and
+// an error matching both roserr.ErrReadCancelled and the context cause.
+func RunContext(ctx context.Context, cfg DriveBy) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	root := obs.StartSpan(SpanRead)
 	// Release the root span on paths that never hand it to an Outcome, so
 	// configuration errors do not strand pool nodes.
@@ -307,7 +380,7 @@ func Run(cfg DriveBy) (*Outcome, error) {
 		frames = nativeFrames
 	}
 	if frames < 32 {
-		return nil, fmt.Errorf("sim: only %d frames over the pass; slow down or extend the span", frames)
+		return nil, fmt.Errorf("sim: %w: only %d frames over the pass; slow down or extend the span", roserr.ErrConfig, frames)
 	}
 	truth := make([]geom.Vec3, frames)
 	for i := range truth {
@@ -347,9 +420,17 @@ func Run(cfg DriveBy) (*Outcome, error) {
 		p.ForceTagNear = &geom.Vec2{}
 	}
 	p.Workers = cfg.Workers
+	p.MaxFrameLoss = cfg.MaxFrameLoss
+	if cfg.Fault != nil {
+		inj, err := fault.New(*cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		p.Fault = inj
+	}
 	vel := geom.Vec3{X: cfg.Speed}
-	res, err := p.Run(sc, truth, est, vel, cfg.Seed)
-	if err != nil {
+	res, err := p.RunContext(ctx, sc, truth, est, vel, cfg.Seed)
+	if err != nil && res == nil {
 		obs.Logger().Error("sim: pipeline failed",
 			"bits", cfg.Bits, "seed", cfg.Seed, "err", err)
 		return nil, err
@@ -357,7 +438,12 @@ func Run(cfg DriveBy) (*Outcome, error) {
 	root.Adopt(res.Span)
 	adopted = true
 
-	out := &Outcome{Detection: res, SNRdB: math.Inf(-1), BER: 0.5, MedianRSSdBm: math.Inf(-1)}
+	out := &Outcome{Detection: res, SNRdB: math.Inf(-1), BER: 0.5, MedianRSSdBm: math.Inf(-1),
+		Partial:         res.Partial,
+		FramesCompleted: res.FramesCompleted,
+		FramesDropped:   res.FramesDropped,
+		SamplesScrubbed: res.SamplesScrubbed,
+	}
 	// Close the span tree and derive the flat Stats view on every return
 	// path below; the pass-level metrics observe the same numbers.
 	defer func() {
@@ -366,6 +452,9 @@ func Run(cfg DriveBy) (*Outcome, error) {
 		out.Span = root
 		out.Stats = StatsFromSpan(root)
 		mReads.Inc()
+		if out.Partial {
+			mPartial.Inc()
+		}
 		hWall.Observe(float64(out.Stats.WallNS) / 1e9)
 		if out.Detected {
 			mDetected.Inc()
@@ -375,6 +464,11 @@ func Run(cfg DriveBy) (*Outcome, error) {
 			}
 		}
 	}()
+	if err != nil {
+		// Partial pipeline result: cancellation or frame loss past the
+		// budget. Surface what completed alongside the typed error.
+		return out, fmt.Errorf("sim: %w", err)
+	}
 	if res.TagIndex < 0 || len(res.TagU) < 16 {
 		if res.TagIndex >= 0 {
 			obs.Logger().Info("sim: tag found but too few RCS samples to decode",
@@ -399,9 +493,14 @@ func Run(cfg DriveBy) (*Outcome, error) {
 	// pass reports "lost" rather than a bogus 0 dBm.
 	out.MedianRSSdBm = dsp.Median(rssDBm)
 
+	// Stage boundary: detection done, decoding next.
+	if cerr := context.Cause(ctx); cerr != nil {
+		out.Partial = true
+		return out, fmt.Errorf("sim: read cancelled before decoding: %w: %w", roserr.ErrReadCancelled, cerr)
+	}
 	dec, err := coding.NewDecoder(len(bits), layout.Delta, rcfg.Wavelength())
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	decSp := root.StartChild(SpanDecode)
 	decoded, err := dec.Decode(res.TagU, res.TagRSS)

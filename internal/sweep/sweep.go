@@ -7,37 +7,134 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"ros/internal/obs"
+	"ros/internal/roserr"
 )
 
-// Pool metrics: points evaluated and points that failed, on the Default
-// registry (incremented per batch, not per point).
+// Pool metrics: points evaluated, points that failed, and recovered worker
+// panics, on the Default registry (incremented per batch, not per point).
 var (
 	mPoints = obs.Default.Counter("ros_sweep_points_total",
 		"work items evaluated on the sweep pool")
 	mPointErrors = obs.Default.Counter("ros_sweep_point_errors_total",
 		"work items that returned an error or panicked")
+	mPanics = obs.Default.Counter("ros_sweep_panics_total",
+		"worker panics recovered on the sweep pool")
+	mCancelled = obs.Default.Counter("ros_sweep_cancelled_total",
+		"sweep batches cut short by context cancellation")
 )
 
+// PanicError is a recovered worker panic, tagged with the point index and
+// carrying the stack trace captured at recovery time. It matches both
+// roserr.ErrWorkerPanic and — when the panic value was itself an error —
+// that underlying error via errors.Is/As.
+type PanicError struct {
+	// Index is the work-item index whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: point %d panicked: %v", e.Index, e.Value)
+}
+
+// Unwrap exposes roserr.ErrWorkerPanic plus, when the panic value was an
+// error, the value itself (so an injected typed panic stays matchable).
+func (e *PanicError) Unwrap() []error {
+	if err, ok := e.Value.(error); ok {
+		return []error{roserr.ErrWorkerPanic, err}
+	}
+	return []error{roserr.ErrWorkerPanic}
+}
+
+// PointError tags a failed point with its index, so callers that tolerate
+// partial batches (the degradation path of package detect) can walk the
+// joined error and map failures back to work items.
+type PointError struct {
+	// Index is the failed work-item index.
+	Index int
+	// Err is the point's error (a *PanicError for recovered panics).
+	Err error
+}
+
+func (e *PointError) Error() string { return fmt.Sprintf("point %d: %v", e.Index, e.Err) }
+
+// Unwrap returns the underlying point error.
+func (e *PointError) Unwrap() error { return e.Err }
+
+// PointErrors walks an error returned by Run/RunCtx and collects every
+// *PointError in it (nil and non-sweep errors yield nil).
+func PointErrors(err error) []*PointError {
+	var out []*PointError
+	var walk func(error)
+	walk = func(err error) {
+		if err == nil {
+			return
+		}
+		if pe, ok := err.(*PointError); ok {
+			out = append(out, pe)
+			return
+		}
+		switch u := err.(type) {
+		case interface{ Unwrap() []error }:
+			for _, e := range u.Unwrap() {
+				walk(e)
+			}
+		case interface{ Unwrap() error }:
+			walk(u.Unwrap())
+		}
+	}
+	walk(err)
+	return out
+}
+
 // Run evaluates fn for every index 0..n-1 on a worker pool and returns the
-// results in order. A worker count of 0 uses GOMAXPROCS. An error cancels
-// nothing (remaining points still run); every failed point is logged with
-// its index and the failures are returned joined (errors.Is still matches
-// each cause), so no point error is silently dropped. A panic in fn is
-// recovered and reported as an error tagged with the point index, so one
-// bad point cannot take down the whole process from an anonymous goroutine.
+// results in order; see RunCtx for the error contract. Run never cancels:
+// an error cancels nothing (remaining points still run).
 func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out, _, err := RunCtx(context.Background(), n, workers, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+	return out, err
+}
+
+// RunCtx evaluates fn for every index 0..n-1 on a worker pool, returning the
+// results in order plus a done mask marking which points completed. A worker
+// count of 0 uses GOMAXPROCS.
+//
+// Cancellation is cooperative: when ctx is cancelled, no new points are
+// dispatched, in-flight points finish (fn may also watch ctx to return
+// early), and RunCtx returns the completed prefix with an error wrapping
+// both roserr.ErrReadCancelled and the context cause — so
+// errors.Is(err, context.DeadlineExceeded) identifies an expired deadline.
+// Completed points are exactly as they would have been in a full run, so
+// deterministic workloads stay deterministic under partial completion.
+//
+// A point error cancels nothing: every failed point is logged with its index
+// and the failures are returned joined as *PointError values (errors.Is
+// still matches each cause, PointErrors recovers the indices). A panic in fn
+// is recovered into a *PanicError carrying the stack trace, so one bad point
+// cannot take down the whole process from an anonymous goroutine.
+func RunCtx[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) (results []T, done []bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n < 0 {
-		return nil, fmt.Errorf("sweep: negative point count %d", n)
+		return nil, nil, fmt.Errorf("sweep: %w: negative point count %d", roserr.ErrConfig, n)
 	}
 	if fn == nil {
-		return nil, fmt.Errorf("sweep: nil point function")
+		return nil, nil, fmt.Errorf("sweep: %w: nil point function", roserr.ErrConfig)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -47,17 +144,22 @@ func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	out := make([]T, n)
 	errs := make([]error, n)
+	done = make([]bool, n)
 	if n == 0 {
-		return out, nil
+		return out, done, nil
 	}
 
 	point := func(i int) (result T, err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("sweep: point %d panicked: %v", i, r)
+				mPanics.Inc()
+				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+				obs.Logger().Error("sweep: worker panic recovered",
+					"point", i, "of", n, "panic", r,
+					"stack", string(err.(*PanicError).Stack))
 			}
 		}()
-		return fn(i)
+		return fn(ctx, i)
 	}
 
 	idx := make(chan int)
@@ -67,35 +169,68 @@ func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// A point dequeued after cancellation is skipped, not run:
+				// the caller sees it as not-done rather than paying for it.
+				if ctx.Err() != nil {
+					continue
+				}
 				out[i], errs[i] = point(i)
+				done[i] = true
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
 
-	mPoints.Add(int64(n))
+	completed := 0
+	for _, d := range done {
+		if d {
+			completed++
+		}
+	}
+	mPoints.Add(int64(completed))
+
 	var failed []error
-	for i, err := range errs {
-		if err != nil {
-			obs.Logger().Error("sweep: point failed", "point", i, "of", n, "err", err)
-			failed = append(failed, fmt.Errorf("point %d: %w", i, err))
+	for i, perr := range errs {
+		if perr != nil {
+			obs.Logger().Error("sweep: point failed", "point", i, "of", n, "err", perr)
+			failed = append(failed, &PointError{Index: i, Err: perr})
 		}
 	}
 	if len(failed) > 0 {
 		mPointErrors.Add(int64(len(failed)))
-		return out, errors.Join(failed...)
 	}
-	return out, nil
+	if cause := context.Cause(ctx); cause != nil {
+		mCancelled.Inc()
+		cancelErr := fmt.Errorf("sweep: cancelled after %d/%d points: %w: %w",
+			completed, n, roserr.ErrReadCancelled, cause)
+		failed = append(failed, cancelErr)
+	}
+	if len(failed) > 0 {
+		return out, done, errors.Join(failed...)
+	}
+	return out, done, nil
 }
 
 // Map evaluates fn over the inputs concurrently, preserving order.
 func Map[In, Out any](inputs []In, workers int, fn func(In) (Out, error)) ([]Out, error) {
 	return Run(len(inputs), workers, func(i int) (Out, error) {
 		return fn(inputs[i])
+	})
+}
+
+// MapCtx is Map with cooperative cancellation; see RunCtx.
+func MapCtx[In, Out any](ctx context.Context, inputs []In, workers int, fn func(ctx context.Context, in In) (Out, error)) ([]Out, []bool, error) {
+	return RunCtx(ctx, len(inputs), workers, func(ctx context.Context, i int) (Out, error) {
+		return fn(ctx, inputs[i])
 	})
 }
 

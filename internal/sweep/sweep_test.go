@@ -1,12 +1,16 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"ros/internal/roserr"
 )
 
 func TestRunPreservesOrder(t *testing.T) {
@@ -139,5 +143,114 @@ func TestNewRandReproduces(t *testing.T) {
 	}
 	if NewRand(7, 3).NormFloat64() == NewRand(7, 4).NormFloat64() {
 		t.Error("adjacent frame streams start identically")
+	}
+}
+
+func TestRunCtxCancellationPartial(t *testing.T) {
+	// Cancel after the first few points: RunCtx must return promptly with
+	// the completed prefix marked done and a typed cancellation error.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	out, done, err := RunCtx(ctx, 1000, 2, func(ctx context.Context, i int) (int, error) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return i * 2, nil
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, roserr.ErrReadCancelled) {
+		t.Errorf("err = %v, want ErrReadCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in chain", err)
+	}
+	completed := 0
+	for i, d := range done {
+		if d {
+			completed++
+			if out[i] != i*2 {
+				t.Errorf("done point %d holds %d, want %d", i, out[i], i*2)
+			}
+		}
+	}
+	if completed == 0 || completed >= 1000 {
+		t.Errorf("completed = %d, want a strict prefix subset", completed)
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := RunCtx(ctx, 100000, 4, func(ctx context.Context, i int) (int, error) {
+		time.Sleep(50 * time.Microsecond)
+		return i, nil
+	})
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("cancelled run took %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestPanicErrorCarriesStack(t *testing.T) {
+	_, _, err := RunCtx(context.Background(), 3, 2, func(ctx context.Context, i int) (int, error) {
+		if i == 1 {
+			panic("with stack")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a *PanicError", err)
+	}
+	if pe.Index != 1 || pe.Value != "with stack" {
+		t.Errorf("PanicError = %+v", pe)
+	}
+	if !strings.Contains(string(pe.Stack), "sweep_test.go") {
+		t.Errorf("stack does not point at the panicking fn:\n%s", pe.Stack)
+	}
+	if !errors.Is(err, roserr.ErrWorkerPanic) {
+		t.Error("panic error does not match roserr.ErrWorkerPanic")
+	}
+}
+
+func TestPanicErrorUnwrapsErrorValue(t *testing.T) {
+	sentinel := errors.New("typed panic")
+	_, _, err := RunCtx(context.Background(), 1, 1, func(ctx context.Context, i int) (int, error) {
+		panic(sentinel)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestPointErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, _, err := RunCtx(context.Background(), 10, 3, func(ctx context.Context, i int) (int, error) {
+		switch i {
+		case 2:
+			return 0, boom
+		case 7:
+			panic("pow")
+		}
+		return i, nil
+	})
+	pes := PointErrors(err)
+	if len(pes) != 2 {
+		t.Fatalf("PointErrors = %v, want 2 entries", pes)
+	}
+	idx := map[int]bool{}
+	for _, pe := range pes {
+		idx[pe.Index] = true
+	}
+	if !idx[2] || !idx[7] {
+		t.Errorf("failed indices = %v, want {2, 7}", idx)
+	}
+	if PointErrors(nil) != nil {
+		t.Error("PointErrors(nil) != nil")
 	}
 }

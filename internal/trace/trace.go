@@ -7,10 +7,13 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+
+	"ros/internal/roserr"
 )
 
 // Capture is one recorded tag read.
@@ -40,19 +43,19 @@ const CurrentVersion = 1
 func (c *Capture) Validate() error {
 	switch {
 	case c.Version != CurrentVersion:
-		return fmt.Errorf("trace: unsupported capture version %d", c.Version)
+		return fmt.Errorf("trace: %w: unsupported capture version %d", roserr.ErrConfig, c.Version)
 	case c.Bits < 1:
-		return fmt.Errorf("trace: capture needs at least 1 coding slot, got %d", c.Bits)
+		return fmt.Errorf("trace: %w: capture needs at least 1 coding slot, got %d", roserr.ErrConfig, c.Bits)
 	case c.DeltaMeters <= 0:
-		return fmt.Errorf("trace: non-positive unit spacing %g", c.DeltaMeters)
+		return fmt.Errorf("trace: %w: non-positive unit spacing %g", roserr.ErrConfig, c.DeltaMeters)
 	case c.LambdaMeters <= 0:
-		return fmt.Errorf("trace: non-positive wavelength %g", c.LambdaMeters)
+		return fmt.Errorf("trace: %w: non-positive wavelength %g", roserr.ErrConfig, c.LambdaMeters)
 	case len(c.U) != len(c.RSS):
-		return fmt.Errorf("trace: %d u samples vs %d rss samples", len(c.U), len(c.RSS))
+		return fmt.Errorf("trace: %w: %d u samples vs %d rss samples", roserr.ErrConfig, len(c.U), len(c.RSS))
 	case len(c.U) < 8:
-		return fmt.Errorf("trace: too few samples (%d)", len(c.U))
+		return fmt.Errorf("trace: %w: too few samples (%d)", roserr.ErrConfig, len(c.U))
 	case len(c.Range) != 0 && len(c.Range) != len(c.U):
-		return fmt.Errorf("trace: %d range samples vs %d u samples", len(c.Range), len(c.U))
+		return fmt.Errorf("trace: %w: %d range samples vs %d u samples", roserr.ErrConfig, len(c.Range), len(c.U))
 	}
 	return nil
 }
@@ -95,17 +98,15 @@ func Save(path string, c *Capture) error {
 	}
 	tmp := f.Name()
 	if err := c.Write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		// The close and remove failures are secondary but not silent: a
+		// temp file left behind is worth knowing about.
+		return errors.Join(err, f.Close(), os.Remove(tmp))
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("trace: %w", err)
+		return errors.Join(fmt.Errorf("trace: %w", err), os.Remove(tmp))
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("trace: %w", err)
+		return errors.Join(fmt.Errorf("trace: %w", err), os.Remove(tmp))
 	}
 	return nil
 }
@@ -116,6 +117,11 @@ func Load(path string) (*Capture, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
-	defer f.Close()
-	return Read(f)
+	// Read-only file: a Close failure cannot lose data, but the decode
+	// error (if any) should win, so close explicitly rather than deferred.
+	c, err := Read(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		return nil, fmt.Errorf("trace: %w", cerr)
+	}
+	return c, err
 }

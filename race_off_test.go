@@ -1,0 +1,7 @@
+//go:build !race
+
+package ros
+
+// raceEnabled relaxes wall-clock assertions when the race detector's 5-20x
+// slowdown is in effect.
+const raceEnabled = false

@@ -1,12 +1,15 @@
 package ros
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"ros/internal/em"
+	"ros/internal/fault"
 	"ros/internal/obs"
 	"ros/internal/radar"
+	"ros/internal/roserr"
 	"ros/internal/sim"
 	"ros/internal/trace"
 )
@@ -71,6 +74,28 @@ type ReadOptions struct {
 	// Workers caps the worker pool of the per-frame radar loop; 0 uses
 	// GOMAXPROCS. The result does not depend on it.
 	Workers int
+	// Fault enables deterministic fault injection for chaos testing (nil
+	// injects nothing); see FaultOptions. A read with Fault nil is
+	// byte-identical to one from a build without the fault layer.
+	Fault *FaultOptions
+}
+
+// FaultOptions configures deterministic fault injection inside a read: each
+// rate is a per-frame probability, decided purely by (Seed, frame index) on
+// a stream independent of the physics randomness. Reads degrade gracefully —
+// dropped or corrupted frames become gaps in the decoder's aggregate — until
+// more than half the frames are lost, at which point the read fails with
+// ErrFrameCorrupt.
+type FaultOptions struct {
+	// Seed drives the fault decisions (independent of ReadOptions.Seed).
+	Seed int64
+	// FrameDropRate loses whole frames; CorruptRate overwrites samples with
+	// NaN/Inf (scrubbed before the FFT); BurstRate adds finite burst noise;
+	// PanicRate panics the frame's worker (recovered, counted, degraded);
+	// DelayRate stalls frames by Delay (default 1 ms).
+	FrameDropRate, CorruptRate, BurstRate, PanicRate, DelayRate float64
+	// Delay is the injected per-frame latency when DelayRate fires.
+	Delay time.Duration
 }
 
 // FogLevel re-exports the weather conditions of Fig 16c.
@@ -101,6 +126,9 @@ type Reading struct {
 	// Stats counts the work behind the read (frames synthesized, FFT
 	// calls, per-stage time).
 	Stats ReadStats
+	// Partial marks a read cut short by cancellation or excess frame loss;
+	// the accompanying error matches ErrReadCancelled or ErrFrameCorrupt.
+	Partial bool
 
 	// capture holds the raw (u, RSS) samples backing the read, for
 	// SaveCapture.
@@ -120,13 +148,18 @@ type ReadStats struct {
 	// Synthesize, RangeFFT, PointCloud, Cluster, Spotlight and Decode are
 	// the per-stage durations; Wall is the whole read.
 	Synthesize, RangeFFT, PointCloud, Cluster, Spotlight, Decode, Wall time.Duration
+	// FramesCompleted and FramesDropped count frame poses that produced
+	// usable data and poses lost to faults; SamplesScrubbed counts
+	// non-finite samples repaired before the range transform. All zero on
+	// a clean, fault-free read except FramesCompleted.
+	FramesCompleted, FramesDropped, SamplesScrubbed int
 }
 
 // SaveCapture archives the read's raw RCS samples as JSON, decodable later
 // with cmd/rosdecode or Decode. It fails when the read detected no tag.
 func (r *Reading) SaveCapture(path, note string) error {
 	if r.capture == nil {
-		return fmt.Errorf("ros: reading has no capture (tag not detected)")
+		return fmt.Errorf("ros: %w: reading has no capture", ErrNoTag)
 	}
 	c := *r.capture
 	c.Note = note
@@ -137,8 +170,18 @@ func (r *Reading) SaveCapture(path, note string) error {
 // frame synthesis, point-cloud detection, clustering, polarization
 // classification, RCS sampling, and spectral decoding.
 func (r *Reader) Read(t *Tag, opts ReadOptions) (*Reading, error) {
+	return r.ReadContext(context.Background(), t, opts)
+}
+
+// ReadContext is Read under a context. Cancellation is cooperative at frame
+// and stage boundaries: when ctx is cancelled or its deadline expires the
+// read returns promptly with a partial Reading (Partial set, frame counters
+// in Stats) and an error matching both ErrReadCancelled and the context
+// cause (errors.Is(err, context.DeadlineExceeded) etc.). Frames completed
+// before the cut are byte-identical to the ones a full run would produce.
+func (r *Reader) ReadContext(ctx context.Context, t *Tag, opts ReadOptions) (*Reading, error) {
 	if t == nil {
-		return nil, fmt.Errorf("ros: nil tag")
+		return nil, fmt.Errorf("ros: %w: nil tag", roserr.ErrConfig)
 	}
 	cfg := sim.DriveBy{
 		Bits:          t.bits,
@@ -154,8 +197,19 @@ func (r *Reader) Read(t *Tag, opts ReadOptions) (*Reading, error) {
 		Workers:       opts.Workers,
 		Radar:         &r.radar,
 	}
-	out, err := sim.Run(cfg)
-	if err != nil {
+	if f := opts.Fault; f != nil {
+		cfg.Fault = &fault.Config{
+			Seed:          f.Seed,
+			FrameDropRate: f.FrameDropRate,
+			CorruptRate:   f.CorruptRate,
+			BurstRate:     f.BurstRate,
+			PanicRate:     f.PanicRate,
+			DelayRate:     f.DelayRate,
+			Delay:         f.Delay,
+		}
+	}
+	out, err := sim.RunContext(ctx, cfg)
+	if err != nil && out == nil {
 		obs.Logger().Error("ros: read failed", "seed", opts.Seed, "err", err)
 		return nil, err
 	}
@@ -166,18 +220,34 @@ func (r *Reader) Read(t *Tag, opts ReadOptions) (*Reading, error) {
 		BER:          out.BER,
 		RSSLossDB:    out.RSSLossDB,
 		MedianRSSdBm: out.MedianRSSdBm,
+		Partial:      out.Partial,
 		Stats: ReadStats{
-			Frames:     out.Stats.Frames,
-			FFTCalls:   out.Stats.FFTCalls,
-			Workers:    out.Stats.Workers,
-			Synthesize: time.Duration(out.Stats.SynthesizeNS),
-			RangeFFT:   time.Duration(out.Stats.RangeFFTNS),
-			PointCloud: time.Duration(out.Stats.PointCloudNS),
-			Cluster:    time.Duration(out.Stats.ClusterNS),
-			Spotlight:  time.Duration(out.Stats.SpotlightNS),
-			Decode:     time.Duration(out.Stats.DecodeNS),
-			Wall:       time.Duration(out.Stats.WallNS),
+			FramesCompleted: out.FramesCompleted,
+			FramesDropped:   out.FramesDropped,
+			SamplesScrubbed: out.SamplesScrubbed,
+			Frames:          out.Stats.Frames,
+			FFTCalls:        out.Stats.FFTCalls,
+			Workers:         out.Stats.Workers,
+			Synthesize:      time.Duration(out.Stats.SynthesizeNS),
+			RangeFFT:        time.Duration(out.Stats.RangeFFTNS),
+			PointCloud:      time.Duration(out.Stats.PointCloudNS),
+			Cluster:         time.Duration(out.Stats.ClusterNS),
+			Spotlight:       time.Duration(out.Stats.SpotlightNS),
+			Decode:          time.Duration(out.Stats.DecodeNS),
+			Wall:            time.Duration(out.Stats.WallNS),
 		},
+	}
+	if err != nil {
+		// Partial read: return what completed alongside the typed error so
+		// callers can both inspect the Reading and branch on errors.Is.
+		obs.Logger().Warn("ros: partial read", "seed", opts.Seed,
+			"frames_completed", reading.Stats.FramesCompleted, "err", err)
+		if out.Detection != nil {
+			out.Detection.Span = nil
+		}
+		out.Span.Release()
+		out.Span = nil
+		return reading, err
 	}
 	if out.Detected && len(out.Detection.TagU) >= 8 {
 		reading.capture = &trace.Capture{
