@@ -11,9 +11,13 @@ BENCH_COUNT ?= 5
 # Fuzz targets smoked by fuzz-smoke; each runs for FUZZTIME.
 FUZZ_TIME ?= 30s
 
-.PHONY: ci fmt vet build test race bench bench-trend bench-baseline bench-compare bench-smoke chaos fuzz-smoke
+# Synthesis-kernel micro-benchmarks compared by bench-kernel: tone lanes,
+# batched Gaussian noise, fused window+FFT plans.
+BENCH_KERNEL := 'BenchmarkToneFill256$$|BenchmarkAccumulateRotated256$$|BenchmarkGaussNorm$$|BenchmarkGaussFill2048$$|BenchmarkGaussAddNoise1024$$|BenchmarkPlanInverse256$$'
 
-ci: fmt vet build race
+.PHONY: ci fmt vet build test race test-purego bench bench-kernel bench-trend bench-baseline bench-compare bench-smoke chaos fuzz-smoke
+
+ci: fmt vet build race test-purego
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -31,8 +35,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The portable scalar kernels behind the ros_purego tag, under the race
+# detector: the cross-tag agreement tests only mean something if both
+# kernel builds stay green.
+test-purego:
+	$(GO) test -race -tags ros_purego ./...
+
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Micro-benchmarks of the synthesis front-end kernels under both build
+# tags, so a lane-kernel change is measured against the portable baseline
+# in one command.
+bench-kernel:
+	$(GO) test -run xxx -bench $(BENCH_KERNEL) -benchmem ./internal/dsp/
+	$(GO) test -run xxx -bench $(BENCH_KERNEL) -benchmem -tags ros_purego ./internal/dsp/
 
 # Append one machine-readable record (per-experiment wall ms + canonical-read
 # span timings) to the checked-in trend file. Run before/after perf PRs.

@@ -148,9 +148,8 @@ func BenchmarkSynthesize(b *testing.B) {
 // of one frame through the batched plan path.
 func BenchmarkRangeFFTBatched(b *testing.B) {
 	cfg := radar.TI1443()
-	rng := rand.New(rand.NewSource(3))
 	plan := cfg.NewSynthPlan()
-	frame := plan.Synthesize([]radar.Scatterer{{Range: 3, Amplitude: 1e-5}}, rng)
+	frame := plan.Synthesize([]radar.Scatterer{{Range: 3, Amplitude: 1e-5}}, dsp.NewGauss(3))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		radar.ReleaseProfile(plan.RangeProfile(frame))

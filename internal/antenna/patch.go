@@ -91,6 +91,22 @@ func (p Patch) Pattern(theta float64) float64 {
 	return math.Pow(c, p.PatternExponent)
 }
 
+// PatternCos is Pattern expressed in the angle's cosine: callers that
+// already hold cos(theta) from geometry (adjacent over hypotenuse side
+// lengths) skip the Atan2/Cos round trip, which dominates the per-module
+// cost of the scene's coherent stack sums. The default q = 0.5 resolves to
+// a hardware square root (the same value math.Pow's y == 0.5 fast path
+// returns).
+func (p Patch) PatternCos(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	if p.PatternExponent == 0.5 {
+		return math.Sqrt(c)
+	}
+	return math.Pow(c, p.PatternExponent)
+}
+
 // Pattern2D combines the azimuth and elevation cuts multiplicatively, the
 // standard separable-pattern approximation.
 func (p Patch) Pattern2D(az, el float64) float64 {

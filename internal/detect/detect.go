@@ -287,6 +287,15 @@ type tagSample struct {
 // dropped as corrupt rather than scrubbed and kept.
 const maxScrubFraction = 0.25
 
+// noiseSeed derives the frame's thermal-noise sub-stream seed: the scene
+// draws consume the frame stream SubSeed(seed, i) through their own
+// rand.Rand, while the batched Gaussian noise runs on an independent
+// SplitMix64 stream remixed from it — both pure functions of (seed, i), so
+// the run stays byte-identical at any worker count.
+func noiseSeed(seed int64, i int) int64 {
+	return sweep.SubSeed(sweep.SubSeed(seed, i), 1)
+}
+
 // synthesizeFrames is pass 1 of Run: synthesize both polarization modes per
 // frame, keep the range profiles, and extract the detection-mode point cloud
 // in world coordinates. Frames are independent given their seed stream, so
@@ -338,11 +347,13 @@ func (p *Pipeline) synthesizeFrames(ctx context.Context, sc *scene.Scene, truth 
 // production read.
 func (p *Pipeline) synthesizeCleanFrame(sc *scene.Scene, pose geom.Vec3, vel geom.Vec3, seed int64, i int, plan *radar.SynthPlan, fe em.RadarFrontEnd, f float64, synthSp, rangeSp, cloudSp *obs.Span) frameData {
 	rng := sweep.NewRand(seed, i)
+	g := dsp.AcquireGauss(noiseSeed(seed, i))
 	t0 := time.Now()
 	detScat := sc.Scatterers(pose, vel, scene.ModeDetect, fe, f, rng)
 	decScat := sc.Scatterers(pose, vel, scene.ModeDecode, fe, f, rng)
-	detFrame := plan.Synthesize(detScat, rng)
-	decFrame := plan.Synthesize(decScat, rng)
+	detFrame := plan.Synthesize(detScat, g)
+	decFrame := plan.Synthesize(decScat, g)
+	dsp.ReleaseGauss(g)
 	t1 := time.Now()
 	fd := frameData{
 		det: plan.RangeProfile(detFrame),
@@ -367,11 +378,13 @@ func (p *Pipeline) synthesizeCleanFrame(sc *scene.Scene, pose geom.Vec3, vel geo
 // exceeds the repair threshold.
 func (p *Pipeline) synthesizeFaultyFrame(sc *scene.Scene, pose geom.Vec3, vel geom.Vec3, seed int64, i int, ff fault.FrameFaults, plan *radar.SynthPlan, fe em.RadarFrontEnd, f float64, numRx, samples int, synthSp, rangeSp, cloudSp *obs.Span) (frameData, error) {
 	rng := sweep.NewRand(seed, i)
+	g := dsp.AcquireGauss(noiseSeed(seed, i))
 	t0 := time.Now()
 	detScat := sc.Scatterers(pose, vel, scene.ModeDetect, fe, f, rng)
 	decScat := sc.Scatterers(pose, vel, scene.ModeDecode, fe, f, rng)
-	detFrame := plan.Synthesize(detScat, rng)
-	decFrame := plan.Synthesize(decScat, rng)
+	detFrame := plan.Synthesize(detScat, g)
+	decFrame := plan.Synthesize(decScat, g)
+	dsp.ReleaseGauss(g)
 	ff.Apply(detFrame.Data, numRx, samples)
 	ff.Apply(decFrame.Data, numRx, samples)
 	scrubbed := radar.ScrubFrame(detFrame) + radar.ScrubFrame(decFrame)

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"sync"
 )
 
 // NextPow2 returns the smallest power of two that is >= n.
@@ -81,11 +80,10 @@ func fftInPlace(x []complex128, inverse bool) {
 	}
 }
 
-// twiddles caches the forward roots of unity per transform size:
-// twiddles[n][j] = exp(-2*pi*i*j/n) for j < n/2. The tables are shared
-// read-only across goroutines (the frame loop of package detect runs FFTs
-// from many workers at once), so the cache is a sync.Map keyed by n.
-var twiddles sync.Map // int -> []complex128
+// twiddles (see cache.go) caches the forward roots of unity per transform
+// size: twiddles[n][j] = exp(-2*pi*i*j/n) for j < n/2. The tables are
+// shared read-only across goroutines (the frame loop of package detect runs
+// FFTs from many workers at once).
 
 func twiddleTable(n int) []complex128 {
 	if t, ok := twiddles.Load(n); ok {
@@ -146,7 +144,7 @@ type chirpPlan struct {
 	m    int
 }
 
-var chirpPlans sync.Map // [2]int{n, sign} -> *chirpPlan
+// chirpPlans is declared in cache.go.
 
 func chirpPlanFor(n int, inverse bool) *chirpPlan {
 	sign := 0

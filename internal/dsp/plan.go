@@ -56,9 +56,8 @@ type Plan struct {
 	scratch *sync.Pool
 }
 
-// planCache memoizes plans per (size, window); entries are immutable and
-// shared across goroutines.
-var planCache sync.Map // [2]int{n, window} -> *Plan
+// planCache (see cache.go) memoizes plans per (size, window); entries are
+// immutable and shared across goroutines.
 
 // PlanFor returns the cached execution plan for n-point transforms under the
 // given window, building it on first use. It panics if n < 1.
@@ -203,16 +202,119 @@ func (p *Plan) execute(dst, src []complex128, inverse bool) {
 }
 
 // stages runs the radix-2 pipeline: a fused gather (bit-reversal permutation
-// + window/normalization scale + the twiddle-free first butterfly stage)
-// followed by the remaining log2(n)-1 stages with the twiddle factor hoisted
-// out of the butterfly loop — no per-butterfly direction branch, conjugation
-// or final scale pass.
+// + window/normalization scale + the first butterfly stages) followed by the
+// remaining stages with the twiddle factor hoisted out of the butterfly loop
+// — no per-butterfly direction branch, conjugation or final scale pass.
+//
+// For n >= 8 the gather carries the first THREE stages in registers before
+// anything is stored: an 8-point group touches memory once instead of once
+// per stage, removing two full load/store passes over the signal. The
+// butterfly operations and their order are exactly those of the generic
+// stage loop (same twiddles roots[k*n/8], same pairing), so the output is
+// bit-identical to the unfused pipeline.
 func (p *Plan) stages(dst, src []complex128, coef []float64, roots []complex128) {
 	n := p.n
 	perm := p.perm
 	if n == 1 {
 		v := src[0]
 		dst[0] = complex(real(v)*coef[0], imag(v)*coef[0])
+		return
+	}
+	if n >= 8 {
+		wq := roots[n>>2]
+		w81 := roots[n>>3]
+		w83 := roots[3*(n>>3)]
+		for j := 0; j < n; j += 8 {
+			s0 := scale(src[perm[j]], coef[j])
+			s1 := scale(src[perm[j+1]], coef[j+1])
+			s2 := scale(src[perm[j+2]], coef[j+2])
+			s3 := scale(src[perm[j+3]], coef[j+3])
+			s4 := scale(src[perm[j+4]], coef[j+4])
+			s5 := scale(src[perm[j+5]], coef[j+5])
+			s6 := scale(src[perm[j+6]], coef[j+6])
+			s7 := scale(src[perm[j+7]], coef[j+7])
+			t0, t1 := s0+s1, s0-s1
+			t2, t3 := s2+s3, s2-s3
+			t4, t5 := s4+s5, s4-s5
+			t6, t7 := s6+s7, s6-s7
+			b1 := t3 * wq
+			b5 := t7 * wq
+			u0, u2 := t0+t2, t0-t2
+			u1, u3 := t1+b1, t1-b1
+			u4, u6 := t4+t6, t4-t6
+			u5, u7 := t5+b5, t5-b5
+			c5 := u5 * w81
+			c6 := u6 * wq
+			c7 := u7 * w83
+			dst[j], dst[j+4] = u0+u4, u0-u4
+			dst[j+1], dst[j+5] = u1+c5, u1-c5
+			dst[j+2], dst[j+6] = u2+c6, u2-c6
+			dst[j+3], dst[j+7] = u3+c7, u3-c7
+		}
+		// The remaining stages run two at a time: the four elements a
+		// radix-2 stage pair couples — {i, i+span, i+2*span, i+3*span} —
+		// stay in registers across both butterflies, so two stages cost
+		// one pass over the signal. roots[0] is exactly (1, 0) and complex
+		// multiplication by it is exact, so the fused form needs no
+		// twiddle-free special case to stay bit-identical to the serial
+		// stage loop.
+		span := 8
+		for ; span<<1 < n; span <<= 2 {
+			s1 := n / (span << 1)
+			s2 := n / (span << 2)
+			// q = 0 has twiddle 1 in both stages; skip those multiplies
+			// (a multiply by (1, 0) could still flip the sign of a zero).
+			w3 := roots[n>>2]
+			for i0 := 0; i0 < n; i0 += span << 2 {
+				i1 := i0 + span
+				i2 := i1 + span
+				i3 := i2 + span
+				a, b := dst[i0], dst[i1]
+				c, d := dst[i2], dst[i3]
+				t0, t1 := a+b, a-b
+				e2 := c + d
+				e3 := (c - d) * w3
+				dst[i0], dst[i2] = t0+e2, t0-e2
+				dst[i1], dst[i3] = t1+e3, t1-e3
+			}
+			for q := 1; q < span; q++ {
+				w1 := roots[q*s1]
+				w2 := roots[q*s2]
+				w3 := roots[q*s2+(n>>2)]
+				for i0 := q; i0 < n; i0 += span << 2 {
+					i1 := i0 + span
+					i2 := i1 + span
+					i3 := i2 + span
+					a, b := dst[i0], dst[i1]*w1
+					c, d := dst[i2], dst[i3]*w1
+					t0, t1 := a+b, a-b
+					e2 := (c + d) * w2
+					e3 := (c - d) * w3
+					dst[i0], dst[i2] = t0+e2, t0-e2
+					dst[i1], dst[i3] = t1+e3, t1-e3
+				}
+			}
+		}
+		if span < n {
+			step := span << 1
+			stride := n / step
+			// k = 0 has twiddle 1; skip the multiply.
+			for i := 0; i < n; i += step {
+				a := dst[i]
+				b := dst[i+span]
+				dst[i] = a + b
+				dst[i+span] = a - b
+			}
+			for k := 1; k < span; k++ {
+				w := roots[k*stride]
+				for i := k; i < n; i += step {
+					a := dst[i]
+					b := dst[i+span] * w
+					dst[i] = a + b
+					dst[i+span] = a - b
+				}
+			}
+		}
 		return
 	}
 	for j := 0; j < n; j += 2 {
@@ -246,6 +348,12 @@ func (p *Plan) stages(dst, src []complex128, coef []float64, roots []complex128)
 	}
 }
 
+// scale multiplies both components of v by c (the permuted window/
+// normalization coefficient of the fused gather).
+func scale(v complex128, c float64) complex128 {
+	return complex(real(v)*c, imag(v)*c)
+}
+
 // bluestein executes the windowed chirp-z transform for non-power-of-two
 // sizes, with the window and normalizations folded into the plan's chirp
 // tables. One scratch buffer comes from the plan's pool.
@@ -272,9 +380,8 @@ func (p *Plan) bluestein(dst, src []complex128, inverse bool) {
 	p.scratch.Put(buf)
 }
 
-// framePools recycles the scratch buffers behind in-place plan executions,
-// one pool per size.
-var framePools sync.Map // int -> *sync.Pool
+// framePools (see cache.go) recycles the scratch buffers behind in-place
+// plan executions, one pool per size.
 
 func framePool(n int) *[]complex128 {
 	pool, ok := framePools.Load(n)

@@ -1,9 +1,6 @@
 package dsp
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Mean returns the arithmetic mean of x, or 0 for an empty slice.
 func Mean(x []float64) float64 {
@@ -37,40 +34,133 @@ func StdDev(x []float64) float64 {
 	return math.Sqrt(Variance(x))
 }
 
-// Median returns the median of x, or -Inf for an empty slice. x is not
-// modified.
+// Median returns the median of the finite samples of x, or -Inf when none
+// are finite. x is not modified.
 func Median(x []float64) float64 {
 	return Percentile(x, 50)
 }
 
-// Percentile returns the p-th percentile (0..100) of x using linear
-// interpolation between closest ranks. x is not modified.
+// MedianInPlace is Median without the defensive copy; see PercentileInPlace
+// for how x is disturbed.
+func MedianInPlace(x []float64) float64 {
+	return PercentileInPlace(x, 50)
+}
+
+// Percentile returns the p-th percentile (0..100) of the finite samples of
+// x using linear interpolation between closest ranks. x is not modified.
 //
-// An empty slice returns -Inf rather than 0: the callers aggregate received
-// power in dBm, where 0 is a real (very strong) level but -Inf reads
-// unambiguously as "no signal" (an all-invalid pass previously reported a
-// bogus 0 dBm median RSS).
+// Non-finite samples are dropped before ranking: a NaN is unordered (a
+// comparison sort fed NaNs returns an arbitrary element — the pre-fix code
+// could report NaN or any sample as the median of an otherwise clean
+// window), and an injected ±Inf would otherwise pin the extreme ranks.
+// When no finite sample survives — including an empty slice — the result
+// is -Inf rather than 0: the callers aggregate received power in dBm,
+// where 0 is a real (very strong) level but -Inf reads unambiguously as
+// "no signal". A NaN p returns NaN.
 func Percentile(x []float64, p float64) float64 {
-	if len(x) == 0 {
-		return math.Inf(-1)
-	}
 	s := make([]float64, len(x))
 	copy(s, x)
-	sort.Float64s(s)
+	return PercentileInPlace(s, p)
+}
+
+// PercentileInPlace is Percentile for callers that own x as scratch: it
+// compacts the finite samples to a reordered prefix of x (partial
+// quickselect order) instead of copying. Sample values are preserved, only
+// their positions change. The selection is rank-exact — the same order
+// statistics a full sort would produce — but runs O(n) instead of
+// O(n log n), which matters to the per-frame noise-floor estimate on the
+// point-cloud path.
+func PercentileInPlace(x []float64, p float64) float64 {
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	// Compact the finite samples: v-v is 0 for finite v and NaN for both
+	// NaN and ±Inf.
+	n := 0
+	for _, v := range x {
+		if v-v == 0 {
+			x[n] = v
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	s := x[:n]
 	if p <= 0 {
-		return s[0]
+		m, _ := Min(s)
+		return m
 	}
 	if p >= 100 {
-		return s[len(s)-1]
+		m, _ := Max(s)
+		return m
 	}
-	pos := p / 100 * float64(len(s)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return s[lo]
-	}
+	pos := p / 100 * float64(n-1)
+	lo := int(pos)
 	frac := pos - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
+	v := selectKth(s, lo)
+	if frac == 0 {
+		return v
+	}
+	// After selectKth, s[lo+1:] holds exactly the ranks above lo, so the
+	// interpolation partner (rank lo+1) is its minimum.
+	w, _ := Min(s[lo+1:])
+	return v*(1-frac) + w*frac
+}
+
+// selectKth places the k-th smallest element of s at index k (with smaller
+// elements before it and larger after) and returns it: Hoare partitions
+// around a median-of-three pivot, recursing only into the side holding k,
+// and finishes small ranges by insertion sort. s must be NaN-free.
+func selectKth(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		if hi-lo < 12 {
+			part := s[lo : hi+1]
+			for i := 1; i < len(part); i++ {
+				for j := i; j > 0 && part[j] < part[j-1]; j-- {
+					part[j], part[j-1] = part[j-1], part[j]
+				}
+			}
+			break
+		}
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if s[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if s[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return s[k]
 }
 
 // Max returns the maximum of x and its index, or (0, -1) for an empty slice.

@@ -1,0 +1,30 @@
+package dsp
+
+// Structure-of-arrays tone kernels for the frame synthesizer. One scatterer
+// contributes the same complex tone cur*step^t to every Rx channel, rotated
+// by a per-channel steering phasor; the old executor re-ran the
+// latency-bound rotation recurrence once per channel. The kernel splits the
+// work instead: ToneFill runs the recurrence exactly once per scatterer
+// into split re/im float64 lanes, and AccumulateTone/AccumulateRotated
+// spread the finished lanes across the channels as independent
+// multiply-adds with no loop-carried dependency — the loops the superscalar
+// core (or a vectorizing compiler) can actually overlap.
+//
+// Two implementations sit behind build tags with identical signatures and
+// contracts: the default lane kernel (tone_lanes.go) advances four phasor
+// lanes a stride of step^4 apart, and the `ros_purego` portable kernel
+// (tone_purego.go) is a plain single-lane scalar loop. Both renormalize
+// their phasors every toneRenormInterval samples so multiplicative rounding
+// drift stays bounded on arbitrarily long frames, and both are pinned to a
+// per-sample Sincos reference at 1e-9 by the cross-tag kernel suite
+// (tone_test.go), which CI runs under each tag.
+
+// toneRenormInterval is the phasor renormalization period of both kernels:
+// |step| = 1 up to rounding, so lane magnitude drifts by ~1 ulp per
+// multiply; rescaling back to the scatterer amplitude every 512 samples
+// bounds the drift at ~1e-13 relative regardless of frame length.
+const toneRenormInterval = 512
+
+// ToneKernel names the tone kernel compiled into this binary ("lanes4" or
+// "purego"), for benchmarks and the build-tag CI matrix.
+func ToneKernel() string { return toneKernelName }

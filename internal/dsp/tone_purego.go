@@ -1,0 +1,73 @@
+//go:build ros_purego
+
+package dsp
+
+import "math"
+
+const toneKernelName = "purego"
+
+// ToneFill writes the tone cur*step^t into the split re/im lanes for
+// t = 0..len(re)-1. Portable single-lane rotation recurrence: the reference
+// shape of the kernel, kept behind the ros_purego tag so the lane kernel
+// always has a plainly-auditable twin to agree with. The phasor
+// renormalizes to the starting magnitude every toneRenormInterval samples,
+// matching the lane kernel's drift bound. re and im must have equal length.
+func ToneFill(re, im []float64, curRe, curIm, stepRe, stepIm float64) {
+	n := len(re)
+	im = im[:n]
+	amp2 := curRe*curRe + curIm*curIm
+	cr, ci := curRe, curIm
+	renorm := toneRenormInterval
+	for t := 0; t < n; t++ {
+		re[t], im[t] = cr, ci
+		cr, ci = cr*stepRe-ci*stepIm, cr*stepIm+ci*stepRe
+		if t >= renorm && amp2 > 0 {
+			renorm += toneRenormInterval
+			if m := cr*cr + ci*ci; m > 0 {
+				s := math.Sqrt(amp2 / m)
+				cr, ci = cr*s, ci*s
+			}
+		}
+	}
+}
+
+// AccumulateTone adds the split-lane tone to dst: dst[t] += re[t] + i*im[t].
+func AccumulateTone(dst []complex128, re, im []float64) {
+	re = re[:len(dst)]
+	im = im[:len(dst)]
+	for t := range dst {
+		dst[t] += complex(re[t], im[t])
+	}
+}
+
+// AccumulateRotated adds the split-lane tone rotated by the constant phasor
+// a = aRe + i*aIm to dst: dst[t] += a * (re[t] + i*im[t]).
+func AccumulateRotated(dst []complex128, re, im []float64, aRe, aIm float64) {
+	re = re[:len(dst)]
+	im = im[:len(dst)]
+	for t := range dst {
+		tr, ti := re[t], im[t]
+		dst[t] += complex(aRe*tr-aIm*ti, aRe*ti+aIm*tr)
+	}
+}
+
+// StoreTone is AccumulateTone with = instead of +=: the first scatterer of a
+// frame defines the buffer contents outright, so the synthesis loop skips
+// zeroing the pooled frame beforehand.
+func StoreTone(dst []complex128, re, im []float64) {
+	re = re[:len(dst)]
+	im = im[:len(dst)]
+	for t := range dst {
+		dst[t] = complex(re[t], im[t])
+	}
+}
+
+// StoreRotated is AccumulateRotated with = instead of +=.
+func StoreRotated(dst []complex128, re, im []float64, aRe, aIm float64) {
+	re = re[:len(dst)]
+	im = im[:len(dst)]
+	for t := range dst {
+		tr, ti := re[t], im[t]
+		dst[t] = complex(aRe*tr-aIm*ti, aRe*ti+aIm*tr)
+	}
+}

@@ -2,7 +2,6 @@ package dsp
 
 import (
 	"math"
-	"sync"
 )
 
 // Window identifies a tapering window applied before spectral analysis to
@@ -65,11 +64,10 @@ func (w Window) Coefficients(n int) []float64 {
 	return c
 }
 
-// windowCache memoizes coefficient tables per (window, length): the range
-// transform windows every channel of every frame with the same table, and
-// recomputing the cosines dominated its profile. Entries are shared
-// read-only across goroutines.
-var windowCache sync.Map // [2]int{window, n} -> *windowEntry
+// windowCache (see cache.go) memoizes coefficient tables per
+// (window, length): the range transform windows every channel of every
+// frame with the same table, and recomputing the cosines dominated its
+// profile. Entries are shared read-only across goroutines.
 
 type windowEntry struct {
 	coeffs []float64

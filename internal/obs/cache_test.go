@@ -1,0 +1,54 @@
+package obs
+
+import "testing"
+
+func TestCountedMapTracksEntries(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_cache_entries", "test")
+	c := NewCountedMap(g)
+
+	if _, ok := c.Load("a"); ok {
+		t.Fatal("empty map reported a hit")
+	}
+	if v, loaded := c.LoadOrStore("a", 1); loaded || v.(int) != 1 {
+		t.Fatalf("first store: v=%v loaded=%v", v, loaded)
+	}
+	if g.Value() != 1 || c.Len() != 1 {
+		t.Fatalf("after first store: gauge=%v len=%d, want 1, 1", g.Value(), c.Len())
+	}
+	// A racing second store must return the resident value and not bump the
+	// count — memo caches never overwrite.
+	if v, loaded := c.LoadOrStore("a", 2); !loaded || v.(int) != 1 {
+		t.Fatalf("duplicate store: v=%v loaded=%v", v, loaded)
+	}
+	if g.Value() != 1 {
+		t.Fatalf("duplicate store moved gauge to %v", g.Value())
+	}
+	c.LoadOrStore("b", 3)
+	if g.Value() != 2 || c.Len() != 2 {
+		t.Fatalf("after second key: gauge=%v len=%d, want 2, 2", g.Value(), c.Len())
+	}
+}
+
+func TestCountedMapClear(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_cache_clear_entries", "test")
+	c := NewCountedMap(g)
+	c.LoadOrStore("a", 1)
+	c.LoadOrStore("b", 2)
+
+	c.Clear()
+	if g.Value() != 0 || c.Len() != 0 {
+		t.Fatalf("after Clear: gauge=%v len=%d, want 0, 0", g.Value(), c.Len())
+	}
+	if _, ok := c.Load("a"); ok {
+		t.Fatal("cleared map still holds an entry")
+	}
+	// The cache keeps working after a reset.
+	if v, loaded := c.LoadOrStore("a", 7); loaded || v.(int) != 7 {
+		t.Fatalf("refill after Clear: v=%v loaded=%v", v, loaded)
+	}
+	if g.Value() != 1 || c.Len() != 1 {
+		t.Fatalf("after refill: gauge=%v len=%d, want 1, 1", g.Value(), c.Len())
+	}
+}

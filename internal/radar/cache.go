@@ -1,0 +1,31 @@
+// Cache registry of the radar package. Both caches are process-lifetime
+// memo maps keyed by radar geometry, with immutable entries shared across
+// goroutines. Neither evicts: the working set is bounded by the number of
+// distinct configurations the process touches, so each mirrors its entry
+// count into an internal/obs gauge (ros_radar_*_entries) and ResetCaches
+// drops them both.
+package radar
+
+import "ros/internal/obs"
+
+var (
+	// synthPlans caches frame front-end plans per Config (Config is
+	// comparable); a sweep re-reading the same radar reuses the
+	// scene-static tables across reads.
+	synthPlans = obs.NewCountedMap(obs.Default.Gauge("ros_radar_synth_plan_entries",
+		"Resident frame synthesis plans, one per radar Config."))
+	// steeringCache caches beamforming steering tables per
+	// (numRx, spacing, frequency).
+	steeringCache = obs.NewCountedMap(obs.Default.Gauge("ros_radar_steering_entries",
+		"Resident beamforming steering tables, one per array geometry."))
+)
+
+// ResetCaches drops the radar memo caches — synthesis plans and steering
+// tables — and zeroes their gauges. Values already handed out stay valid
+// (entries are immutable); subsequent calls simply rebuild. Intended for
+// long-lived processes cycling through unbounded radar configurations and
+// for tests that need a cold start.
+func ResetCaches() {
+	synthPlans.Clear()
+	steeringCache.Clear()
+}

@@ -3,10 +3,17 @@ package radar
 // Frame-equivalence suite: pins the plan/executor front-end (SynthPlan ->
 // contiguous Frame -> fused window+IFFT range transform) to the pre-refactor
 // reference implementations, re-derived here sample by sample. The plan path
-// reorders floating-point operations (steering recurrence across channels,
-// four-lane tone accumulation, fused window butterfly), so equality is
-// checked to a 1e-9 relative tolerance; the quantizer, which would amplify
-// an ulp into a full step, is pinned bit-exactly.
+// reorders floating-point operations (structure-of-arrays tone lanes spread
+// across channels by steering phasors, fused window butterfly), so equality
+// is checked to a 1e-9 relative tolerance; the quantizer, which would
+// amplify an ulp into a full step, is pinned bit-exactly.
+//
+// Noise contract: since the batched-Gaussian PR, thermal noise is drawn
+// from dsp.Gauss (a ziggurat over a SplitMix64 sub-stream), a deliberate
+// replacement of the stdlib NormFloat64 sequence. The reference here
+// therefore consumes the same Gauss stream the executor does — the suite
+// pins the tone/window/quantizer arithmetic, and the generator itself is
+// pinned by its own moment and determinism tests in internal/dsp.
 
 import (
 	"math"
@@ -20,7 +27,7 @@ import (
 // refSynthesize is the pre-refactor Config.Synthesize: per-channel Sincos
 // for the steering phase, single-lane rotation recurrence, noise pass in
 // channel-major order, then AGC quantization with its own full-frame scan.
-func refSynthesize(c Config, scatterers []Scatterer, rng *rand.Rand) [][]complex128 {
+func refSynthesize(c Config, scatterers []Scatterer, g *dsp.Gauss) [][]complex128 {
 	lambda := c.Wavelength()
 	n := c.Samples
 	out := make([][]complex128, c.NumRx)
@@ -47,12 +54,14 @@ func refSynthesize(c Config, scatterers []Scatterer, rng *rand.Rand) [][]complex
 			}
 		}
 	}
-	if rng != nil {
+	if g != nil {
+		// Consume the Gauss stream in the executor's order: one interleaved
+		// re/im draw pair per sample, channel-major.
 		sigma := math.Sqrt(c.NoisePerBin()*float64(n)) / math.Sqrt2
 		for k := range out {
 			ch := out[k]
 			for t := range ch {
-				ch[t] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+				ch[t] += complex(g.Norm()*sigma, g.Norm()*sigma)
 			}
 		}
 	}
@@ -185,13 +194,13 @@ func TestSynthesizeMatchesReference(t *testing.T) {
 				seed := int64(1000*trial + 7)
 				scene := randomScene(rand.New(rand.NewSource(seed)), c)
 				for _, noisy := range []bool{false, true} {
-					var rngPlan, rngRef *rand.Rand
+					var gPlan, gRef *dsp.Gauss
 					if noisy {
-						rngPlan = rand.New(rand.NewSource(seed + 1))
-						rngRef = rand.New(rand.NewSource(seed + 1))
+						gPlan = dsp.NewGauss(seed + 1)
+						gRef = dsp.NewGauss(seed + 1)
 					}
-					got := plan.Synthesize(scene, rngPlan)
-					ref := refSynthesize(c, scene, rngRef)
+					got := plan.Synthesize(scene, gPlan)
+					ref := refSynthesize(c, scene, gRef)
 					if err := maxRelDiff(t, got, ref); err > relTol {
 						t.Errorf("trial %d noisy=%v: max relative error %.3g > %.0g",
 							trial, noisy, err, relTol)
@@ -219,8 +228,8 @@ func TestQuantizedSynthesisSameCells(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		seed := int64(31*trial + 3)
 		scene := randomScene(rand.New(rand.NewSource(seed)), c)
-		got := plan.Synthesize(scene, rand.New(rand.NewSource(seed+2)))
-		ref := refSynthesize(c, scene, rand.New(rand.NewSource(seed+2)))
+		got := plan.Synthesize(scene, dsp.NewGauss(seed+2))
+		ref := refSynthesize(c, scene, dsp.NewGauss(seed+2))
 		if err := maxRelDiff(t, got, ref); err > stepRel*1e-6 {
 			t.Errorf("trial %d: max relative error %.3g suggests a quantizer cell flip (step %.3g)",
 				trial, err, stepRel)
@@ -239,7 +248,7 @@ func TestRangeProfileMatchesReference(t *testing.T) {
 			for trial := 0; trial < 8; trial++ {
 				seed := int64(500*trial + 11)
 				scene := randomScene(rand.New(rand.NewSource(seed)), c)
-				f := plan.Synthesize(scene, rand.New(rand.NewSource(seed+1)))
+				f := plan.Synthesize(scene, dsp.NewGauss(seed+1))
 				refChans := make([][]complex128, c.NumRx)
 				for k := range refChans {
 					refChans[k] = append([]complex128(nil), f.Channel(k)...)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"ros/internal/dsp"
 	"ros/internal/em"
@@ -93,9 +92,9 @@ type SynthPlan struct {
 	rangePlan *dsp.Plan
 }
 
-// synthPlans caches plans per Config (Config is comparable); a sweep
-// re-reading the same radar reuses the scene-static tables across reads.
-var synthPlans sync.Map // Config -> *SynthPlan
+// synthPlans (see cache.go) caches plans per Config (Config is
+// comparable); a sweep re-reading the same radar reuses the scene-static
+// tables across reads.
 
 // NewSynthPlan validates the configuration once and returns the frame
 // front-end plan for it. It panics on an invalid config, exactly as
@@ -133,22 +132,33 @@ func (p *SynthPlan) Config() Config { return p.cfg }
 
 // Synthesize generates a baseband frame per Eq 2 for the given scatterers,
 // adding per-sample thermal noise sized so that the post-range-FFT per-bin
-// noise power equals Config.NoisePerBin. A nil rng yields a noiseless frame.
+// noise power equals Config.NoisePerBin. A nil g yields a noiseless frame.
 //
 // Per scatterer the executor runs three Sincos calls — base carrier phase,
-// per-sample beat rotation, per-channel steering rotation — and generates
-// every channel's tone from the channel-0 phasor by the steering recurrence
-// cur_k = cur_0 * rot^k (rot = exp(-i*2*pi*d*sin(az)/lambda)), instead of
-// one Sincos per channel. The per-sample rotation runs four independent
-// phasor lanes so the chain of complex multiplies is throughput- rather
-// than latency-bound. Rounding drift over a frame is ~n ulps, far below the
-// noise floor.
-func (p *SynthPlan) Synthesize(scatterers []Scatterer, rng *rand.Rand) Frame {
+// per-sample beat rotation, per-channel steering rotation — then hands the
+// work to the structure-of-arrays dsp tone kernel: dsp.ToneFill runs the
+// latency-bound rotation recurrence exactly once into split re/im lanes,
+// and every Rx channel accumulates the finished lanes rotated by its
+// steering phasor rot^k (rot = exp(-i*2*pi*d*sin(az)/lambda)) via
+// dsp.AccumulateRotated — independent multiply-adds with no serial chain,
+// one pass over the frame per channel instead of one recurrence per
+// channel. The kernel renormalizes its phasors periodically, so drift stays
+// bounded on arbitrarily long frames.
+//
+// Thermal noise comes from the batched Gaussian stream g (dsp.Gauss): one
+// FillNorm over preallocated lanes replaces the 2*Samples*NumRx individual
+// NormFloat64 calls the profile showed dominating this stage.
+func (p *SynthPlan) Synthesize(scatterers []Scatterer, g *dsp.Gauss) Frame {
 	c := p.cfg
 	n := c.Samples
-	buf := acquireChannels(c.NumRx, n, true)
+	// The pooled buffer is taken dirty: the first contributing scatterer
+	// stores its tone (dsp.StoreTone) instead of accumulating, which
+	// replaces the full-frame memclr with useful writes.
+	buf := acquireChannels(c.NumRx, n, false)
 	f := Frame{Data: buf.flat, NumRx: c.NumRx, Samples: n, buf: buf}
+	re, im := buf.lanes(n)
 
+	wrote := false
 	for _, sc := range scatterers {
 		if sc.Amplitude <= 0 || sc.Range <= 0 {
 			continue
@@ -158,28 +168,41 @@ func (p *SynthPlan) Synthesize(scatterers []Scatterer, rng *rand.Rand) Frame {
 		base := p.phaseK*sc.Range + sc.Phase
 		sinAz := math.Sin(sc.Azimuth)
 		ds, dc := math.Sincos(p.stepK * fb)
-		step := complex(dc, ds)
 		rs, rc := math.Sincos(-p.rxK * sinAz)
-		rot := complex(rc, rs)
 		s0, c0 := math.Sincos(-base)
-		cur := complex(sc.Amplitude*c0, sc.Amplitude*s0)
-		for k := 0; k < c.NumRx; k++ {
-			accumulateTone(f.Data[k*n:(k+1)*n], cur, step)
-			cur *= rot
+		dsp.ToneFill(re, im, sc.Amplitude*c0, sc.Amplitude*s0, dc, ds)
+		aRe, aIm := rc, rs
+		if !wrote {
+			wrote = true
+			dsp.StoreTone(f.Data[:n], re, im)
+			for k := 1; k < c.NumRx; k++ {
+				dsp.StoreRotated(f.Data[k*n:(k+1)*n], re, im, aRe, aIm)
+				aRe, aIm = aRe*rc-aIm*rs, aRe*rs+aIm*rc
+			}
+			continue
 		}
+		dsp.AccumulateTone(f.Data[:n], re, im)
+		for k := 1; k < c.NumRx; k++ {
+			dsp.AccumulateRotated(f.Data[k*n:(k+1)*n], re, im, aRe, aIm)
+			aRe, aIm = aRe*rc-aIm*rs, aRe*rs+aIm*rc
+		}
+	}
+	if !wrote {
+		clear(f.Data)
 	}
 
 	// Per-sample noise such that after an N-point averaged FFT the per-bin
 	// noise power equals NoisePerBin: the normalized FFT averages N
-	// samples, reducing noise power by N. The same pass tracks the largest
-	// I/Q excursion, which is the quantizer's AGC peak — no extra
-	// full-frame scan.
+	// samples, reducing noise power by N. The draws come batched from the
+	// Gauss stream; the add pass tracks the largest I/Q excursion, which is
+	// the quantizer's AGC peak — no extra full-frame scan.
 	peak := 0.0
 	switch {
-	case rng != nil && c.ADCBits > 0:
+	case g != nil && c.ADCBits > 0:
 		sigma := p.sigma
+		lane := g.Norms(2 * len(f.Data))
 		for t, v := range f.Data {
-			v += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+			v += complex(lane[2*t]*sigma, lane[2*t+1]*sigma)
 			f.Data[t] = v
 			if a := math.Abs(real(v)); a > peak {
 				peak = a
@@ -188,11 +211,10 @@ func (p *SynthPlan) Synthesize(scatterers []Scatterer, rng *rand.Rand) Frame {
 				peak = a
 			}
 		}
-	case rng != nil:
-		sigma := p.sigma
-		for t := range f.Data {
-			f.Data[t] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
-		}
+	case g != nil:
+		// No quantizer, no peak needed: the fused generator accumulates
+		// the scaled draws straight into the frame.
+		g.AddNoise(f.Data, p.sigma)
 	case c.ADCBits > 0:
 		for _, v := range f.Data {
 			if a := math.Abs(real(v)); a > peak {
@@ -209,39 +231,19 @@ func (p *SynthPlan) Synthesize(scatterers []Scatterer, rng *rand.Rand) Frame {
 	return f
 }
 
-// accumulateTone adds the complex tone cur * step^t to ch. The rotation
-// recurrence is latency-bound (each multiply depends on the previous), so
-// the loop advances four independent lanes a stride of step^4 apart,
-// overlapping the multiply chains.
-func accumulateTone(ch []complex128, cur, step complex128) {
-	n := len(ch)
-	step2 := step * step
-	step4 := step2 * step2
-	c0 := cur
-	c1 := cur * step
-	c2 := cur * step2
-	c3 := c2 * step
-	t := 0
-	for ; t+4 <= n; t += 4 {
-		ch[t] += c0
-		ch[t+1] += c1
-		ch[t+2] += c2
-		ch[t+3] += c3
-		c0 *= step4
-		c1 *= step4
-		c2 *= step4
-		c3 *= step4
-	}
-	for ; t < n; t++ {
-		ch[t] += c0
-		c0 *= step
-	}
-}
-
 // Synthesize generates a baseband frame per Eq 2 via the cached per-config
-// plan; see SynthPlan.Synthesize. A nil rng yields a noiseless frame.
+// plan; see SynthPlan.Synthesize. A nil rng yields a noiseless frame; a
+// non-nil rng seeds one pooled Gauss noise stream from a single rng draw,
+// so the output is a pure function of the rng state.
 func (c Config) Synthesize(scatterers []Scatterer, rng *rand.Rand) Frame {
-	return c.NewSynthPlan().Synthesize(scatterers, rng)
+	plan := c.NewSynthPlan()
+	if rng == nil {
+		return plan.Synthesize(scatterers, nil)
+	}
+	g := dsp.AcquireGauss(int64(rng.Uint64()))
+	f := plan.Synthesize(scatterers, g)
+	dsp.ReleaseGauss(g)
+	return f
 }
 
 // quantize applies the config's b-bit midrise converter with per-frame AGC:

@@ -5,39 +5,80 @@ import "sync"
 // chanBuf is the pooled backing store behind frames and range profiles: one
 // contiguous channel-major buffer plus per-channel views over it. Frames use
 // flat directly (the batched range transform consumes the contiguous
-// layout); range profiles expose the views as RangeProfile.Bins.
+// layout); range profiles expose the views as RangeProfile.Bins. The buffer
+// also carries the split re/im tone lanes of the synthesis kernel, so a
+// frame's scatterer loop allocates nothing.
 type chanBuf struct {
 	flat  []complex128
 	views [][]complex128
+	// numRx and n record the shape the views currently describe, so a
+	// same-shape reuse skips rebuilding them.
+	numRx, n int
+	// laneRe/laneIm are the structure-of-arrays scratch lanes of the tone
+	// kernel (dsp.ToneFill), sized lazily to the sample count.
+	laneRe, laneIm []float64
+}
+
+// reshape reslices the buffer to [numRx][n], rebuilding the channel views
+// only when the shape actually changed. The caller guarantees
+// cap(flat) >= numRx*n.
+func (b *chanBuf) reshape(numRx, n int) {
+	b.flat = b.flat[:numRx*n]
+	if b.numRx == numRx && b.n == n {
+		return
+	}
+	if cap(b.views) < numRx {
+		b.views = make([][]complex128, numRx)
+	}
+	b.views = b.views[:numRx]
+	for k := range b.views {
+		b.views[k] = b.flat[k*n : (k+1)*n]
+	}
+	b.numRx, b.n = numRx, n
+}
+
+// lanes returns the buffer's tone scratch lanes resliced to n samples,
+// growing them on first use (or on the largest config seen so far).
+func (b *chanBuf) lanes(n int) (re, im []float64) {
+	if cap(b.laneRe) < n || cap(b.laneIm) < n {
+		b.laneRe = make([]float64, n)
+		b.laneIm = make([]float64, n)
+	}
+	return b.laneRe[:n], b.laneIm[:n]
 }
 
 // chanPool recycles chanBufs. A drive-by synthesizes and transforms two
 // frames per pose (~560 per pass), and with the frame loop running on a
 // worker pool the buffers would otherwise be reallocated from every worker;
-// recycling them keeps the steady-state allocation rate near zero. Buffers
-// are reused only when the shape matches the requesting config (mismatched
-// shapes are simply dropped).
+// recycling them keeps the steady-state allocation rate near zero. Reuse is
+// by capacity, not exact shape: a pooled buffer big enough for the
+// requested [numRx][n] is resliced to it, so interleaved multi-config runs
+// (a sweep mixing radar sizes, or a server handling heterogeneous requests)
+// keep recycling one high-water-mark buffer instead of degrading to a
+// malloc per frame whenever the shape flips. Only a buffer strictly too
+// small for the request is dropped for the garbage collector.
 var chanPool sync.Pool
 
 // acquireChannels returns a [numRx][n] buffer, zeroed when zero is set
 // (frame synthesis accumulates with +=; the range transform overwrites
 // every element and skips the clear).
 func acquireChannels(numRx, n int, zero bool) *chanBuf {
+	need := numRx * n
 	if v := chanPool.Get(); v != nil {
 		b := v.(*chanBuf)
-		if len(b.views) == numRx && len(b.flat) == numRx*n {
+		if cap(b.flat) >= need {
+			b.reshape(numRx, n)
 			if zero {
 				clear(b.flat)
 			}
 			return b
 		}
+		// Too small for this request: drop it and allocate at the new
+		// high-water mark, which then serves every smaller shape.
 	}
-	flat := make([]complex128, numRx*n)
-	views := make([][]complex128, numRx)
-	for k := range views {
-		views[k] = flat[k*n : (k+1)*n]
-	}
-	return &chanBuf{flat: flat, views: views}
+	b := &chanBuf{flat: make([]complex128, need)}
+	b.reshape(numRx, n)
+	return b
 }
 
 // ReleaseFrame returns a frame's sample buffer to the pool. The caller must

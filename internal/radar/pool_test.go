@@ -1,0 +1,63 @@
+package radar
+
+import "testing"
+
+// TestAcquireChannelsReusesAcrossShapes pins the capacity-based reuse
+// contract: a pooled buffer big enough for the request is resliced rather
+// than dropped, so interleaving two configurations recycles one
+// high-water-mark buffer. The pre-fix exact-shape check dropped the buffer
+// on every shape flip, costing a fresh allocation per frame.
+func TestAcquireChannelsReusesAcrossShapes(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector")
+	}
+	// Warm the pool to the high-water mark so the measured loop only ever
+	// needs reuse.
+	warm := acquireChannels(8, 512, true)
+	chanPool.Put(warm)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		big := acquireChannels(8, 512, false)
+		chanPool.Put(big)
+		small := acquireChannels(4, 256, true)
+		chanPool.Put(small)
+	})
+	// A GC between runs may flush the pool and force one reallocation;
+	// anything beyond that means the shape flip stopped reusing.
+	if allocs > 1 {
+		t.Fatalf("interleaved two-shape acquire/release averaged %.1f allocs/run, want ~0", allocs)
+	}
+}
+
+// TestAcquireChannelsReshape checks that a reused buffer is correctly
+// resliced: the channel views must tile the flat buffer for the new shape,
+// and a zero request must actually clear the visible samples.
+func TestAcquireChannelsReshape(t *testing.T) {
+	big := acquireChannels(6, 128, false)
+	for i := range big.flat {
+		big.flat[i] = complex(1, 1) // dirty the buffer
+	}
+	chanPool.Put(big)
+
+	b := acquireChannels(3, 64, true)
+	if len(b.flat) != 3*64 {
+		t.Fatalf("flat length = %d, want %d", len(b.flat), 3*64)
+	}
+	if len(b.views) != 3 {
+		t.Fatalf("views = %d channels, want 3", len(b.views))
+	}
+	for k, v := range b.views {
+		if len(v) != 64 {
+			t.Fatalf("channel %d has %d samples, want 64", k, len(v))
+		}
+		if &v[0] != &b.flat[k*64] {
+			t.Fatalf("channel %d view does not tile the flat buffer", k)
+		}
+	}
+	for i, v := range b.flat {
+		if v != 0 {
+			t.Fatalf("zeroed buffer has %v at %d", v, i)
+		}
+	}
+	chanPool.Put(b)
+}

@@ -198,14 +198,30 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 	}
 	n := len(rp.Bins[0])
 
-	// Non-coherent channel-summed power per range bin.
-	power := make([]float64, n)
-	for _, ch := range rp.Bins {
+	// Non-coherent channel-summed power per range bin. A pooled profile
+	// carries two idle scratch lanes of exactly this length (the synthesis
+	// kernel's tone lanes); borrowing them for the power sum and the median
+	// scratch makes the per-frame detection pass allocation-free.
+	var power, scratch []float64
+	if rp.buf != nil {
+		power, scratch = rp.buf.lanes(n)
+	} else {
+		flat := make([]float64, 2*n)
+		power, scratch = flat[:n], flat[n:]
+	}
+	for ci, ch := range rp.Bins {
+		if ci == 0 {
+			for i, v := range ch {
+				power[i] = real(v)*real(v) + imag(v)*imag(v)
+			}
+			continue
+		}
 		for i, v := range ch {
 			power[i] += real(v)*real(v) + imag(v)*imag(v)
 		}
 	}
-	noise := dsp.Median(power)
+	copy(scratch, power)
+	noise := dsp.MedianInPlace(scratch)
 	if noise <= 0 {
 		noise = 1e-30
 	}
@@ -223,7 +239,14 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 	}
 
 	angles := c.ScanAngles()
-	spec := make([]float64, len(angles))
+	// The median scratch is free again; it holds the AoA spectrum when the
+	// scan grid fits (it does for every config with Samples >= 121 bins).
+	var spec []float64
+	if len(angles) <= len(scratch) {
+		spec = scratch[:len(angles)]
+	} else {
+		spec = make([]float64, len(angles))
+	}
 	var out []Detection
 	for i := 1; i < n-1; i++ {
 		r := float64(i) * rp.BinSize

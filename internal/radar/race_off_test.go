@@ -1,0 +1,8 @@
+//go:build !race
+
+package radar
+
+// raceEnabled reports whether the race detector is on; the allocation
+// regression tests skip under it because sync.Pool deliberately drops
+// items when racing to widen the schedule space.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package radar
+
+// raceEnabled reports whether the race detector is on; see race_off_test.go.
+const raceEnabled = true

@@ -2,7 +2,6 @@ package radar
 
 import (
 	"math"
-	"sync"
 )
 
 // Cached steering kernels for the AoA scan (Eq 4). The beamforming steering
@@ -36,7 +35,7 @@ type steeringTable struct {
 	weights []complex128
 }
 
-var steeringCache sync.Map // steeringKey -> *steeringTable
+// steeringCache is declared in cache.go.
 
 // steering returns the cached steering table for this config, computing it
 // on first use.

@@ -61,22 +61,36 @@ func (t *Tag) Response(radarPos geom.Vec3, f float64) complex128 {
 		return 0
 	}
 
-	var sum complex128
+	// Module loop in components: every module's offset from the radar is
+	// rel minus its (x, z) placement, so the y term — and its square — are
+	// loop invariants.
+	elem := t.Stack.Module.Element
+	heights := t.Stack.Heights
+	phases := t.Stack.Phases
+	ry2 := rel.Y * rel.Y
+	var sumRe, sumIm float64
 	for _, d := range t.Layout.Positions() {
-		base := t.Position.Add(geom.Vec3{X: d})
-		for j, zj := range t.Stack.Heights {
-			q := base.Add(geom.Vec3{Z: zj})
-			rq := radarPos.Sub(q)
-			r := rq.Norm()
-			horiz := math.Hypot(rq.X, rq.Y)
-			el := math.Atan2(rq.Z, horiz)
-			elemEl := t.Stack.Module.Element.Pattern(el)
-			ph := -k*(r-rCenter) + t.Stack.Phases[j]
+		dx := rel.X - d
+		horiz2 := dx*dx + ry2
+		horiz := math.Sqrt(horiz2)
+		for j, zj := range heights {
+			dz := rel.Z - zj
+			r := math.Sqrt(horiz2 + dz*dz)
+			if r == 0 {
+				continue
+			}
+			// cos(elevation) is horizontal over slant range directly —
+			// no Atan2/Cos round trip per module, and the horizontal
+			// distance is shared by the whole stack.
+			elemEl := elem.PatternCos(horiz / r)
+			ph := -k*(r-rCenter) + phases[j]
+			sp, cp := math.Sincos(ph)
 			amp := moduleAmp * elemEl
-			sum += complex(amp*math.Cos(ph), amp*math.Sin(ph))
+			sumRe += amp * cp
+			sumIm += amp * sp
 		}
 	}
-	return sum
+	return complex(sumRe, sumIm)
 }
 
 // RCS returns the decode-mode radar cross section in m^2 seen from
@@ -111,16 +125,24 @@ func (t *Tag) stackPower(radarPos geom.Vec3, f float64) float64 {
 	if rCenter == 0 {
 		return 0
 	}
+	// The reference stack is vertical: the horizontal offset — and the
+	// element pattern's numerator — is shared by every module.
+	elem := t.Stack.Module.Element
+	phases := t.Stack.Phases
+	horiz2 := rel.X*rel.X + rel.Y*rel.Y
+	horiz := math.Sqrt(horiz2)
 	var re, im float64
 	for j, zj := range t.Stack.Heights {
-		q := t.Position.Add(geom.Vec3{Z: zj})
-		rq := radarPos.Sub(q)
-		r := rq.Norm()
-		el := math.Atan2(rq.Z, math.Hypot(rq.X, rq.Y))
-		amp := t.Stack.Module.Element.Pattern(el)
-		ph := -k*(r-rCenter) + t.Stack.Phases[j]
-		re += amp * math.Cos(ph)
-		im += amp * math.Sin(ph)
+		dz := rel.Z - zj
+		r := math.Sqrt(horiz2 + dz*dz)
+		if r == 0 {
+			continue
+		}
+		amp := elem.PatternCos(horiz / r)
+		ph := -k*(r-rCenter) + phases[j]
+		sp, cp := math.Sincos(ph)
+		re += amp * cp
+		im += amp * sp
 	}
 	return re*re + im*im
 }
