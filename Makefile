@@ -15,7 +15,10 @@ FUZZ_TIME ?= 30s
 # batched Gaussian noise, fused window+FFT plans.
 BENCH_KERNEL := 'BenchmarkToneFill256$$|BenchmarkAccumulateRotated256$$|BenchmarkGaussNorm$$|BenchmarkGaussFill2048$$|BenchmarkGaussAddNoise1024$$|BenchmarkPlanInverse256$$'
 
-.PHONY: ci fmt vet build test race test-purego bench bench-kernel bench-trend bench-baseline bench-compare bench-smoke chaos fuzz-smoke
+# Observability overhead budget (percent) enforced by obs-overhead.
+OBS_OVERHEAD_PCT ?= 2
+
+.PHONY: ci fmt vet build test race test-purego bench bench-kernel bench-trend bench-baseline bench-compare bench-smoke obs-overhead chaos fuzz-smoke
 
 ci: fmt vet build race test-purego
 
@@ -83,6 +86,22 @@ bench-compare:
 # benchmark that panics or regresses to non-termination fails the build).
 bench-smoke:
 	$(GO) test -run xxx -bench $(BENCH_HOT) -benchtime=1x ./...
+
+# Observability overhead gate: run the instrumented end-to-end read against
+# the flight-recorder-off baseline and fail when the minimum instrumented
+# ns/op regresses more than OBS_OVERHEAD_PCT percent. Run on an idle machine;
+# min-of-5 filters scheduler noise.
+obs-overhead:
+	$(GO) test -run xxx -bench 'BenchmarkEndToEndRead$$|BenchmarkEndToEndReadObsOff$$' -benchtime=10x -count=5 . > obs-overhead.txt
+	@awk -v limit=$(OBS_OVERHEAD_PCT) ' \
+		$$1 ~ /^BenchmarkEndToEndRead(-[0-9]+)?$$/       { if (on  == 0 || $$3 < on)  on  = $$3 } \
+		$$1 ~ /^BenchmarkEndToEndReadObsOff(-[0-9]+)?$$/ { if (off == 0 || $$3 < off) off = $$3 } \
+		END { \
+			if (on == 0 || off == 0) { print "obs-overhead: benchmark output incomplete"; exit 1 } \
+			pct = (on - off) * 100 / off; \
+			printf "obs-overhead: instrumented %d ns/op vs obs-off %d ns/op (%+.2f%%, budget %s%%)\n", on, off, pct, limit; \
+			if (pct > limit) { print "obs-overhead: over budget"; exit 1 } \
+		}' obs-overhead.txt
 
 # Chaos suite on an idle machine: fault injection, cancellation promptness
 # (the 2x-deadline bound holds without -race), typed-error taxonomy, and

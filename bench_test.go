@@ -16,6 +16,7 @@ import (
 	"ros/internal/em"
 	"ros/internal/experiments"
 	"ros/internal/geom"
+	"ros/internal/obs"
 	"ros/internal/radar"
 	"ros/internal/vaa"
 )
@@ -225,6 +226,25 @@ func BenchmarkEndToEndRead(b *testing.B) {
 		b.Fatal(err)
 	}
 	r := NewReader()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Read(tag, ReadOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndReadObsOff is the observability-overhead baseline: the
+// same read with the flight recorder disabled. `make obs-overhead` compares
+// it against BenchmarkEndToEndRead and fails past the 2% budget.
+func BenchmarkEndToEndReadObsOff(b *testing.B) {
+	tag, err := NewTag("1111")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewReader()
+	prev := obs.DefaultFlight.SetEnabled(false)
+	defer obs.DefaultFlight.SetEnabled(prev)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Read(tag, ReadOptions{Seed: int64(i)}); err != nil {

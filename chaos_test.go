@@ -4,8 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
+
+	"ros/internal/fault"
+	"ros/internal/obs"
 )
 
 // TestChaosDecodeUnderFrameLoss is the graceful-degradation contract: with
@@ -188,5 +192,124 @@ func TestChaosDeterminism(t *testing.T) {
 		if got != want {
 			t.Fatalf("workers=%d diverged: %+v vs %+v", workers, got, want)
 		}
+	}
+}
+
+// TestChaosFlightRecorder is the forensics contract: every read with
+// injected faults must be findable in the flight-recorder ring, carrying the
+// injected fault kinds and degradation counters that match the injector's
+// deterministic schedule exactly.
+func TestChaosFlightRecorder(t *testing.T) {
+	tag, err := NewTag("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader()
+	// Silence the background sample so only the policy's always-record rules
+	// fire; restore for the rest of the suite.
+	prev := obs.DefaultFlight.SetSampleEvery(1 << 30)
+	defer obs.DefaultFlight.SetSampleEvery(prev)
+	cases := []struct {
+		name string
+		cfg  fault.Config
+		kind string
+	}{
+		{"drop", fault.Config{Seed: 21, FrameDropRate: 0.15}, "drop"},
+		{"corrupt", fault.Config{Seed: 22, CorruptRate: 0.15}, "corrupt"},
+		{"burst", fault.Config{Seed: 23, BurstRate: 0.15}, "burst"},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seed := int64(91000 + i)
+			reading, err := r.Read(tag, ReadOptions{
+				Seed: seed,
+				Fault: &FaultOptions{
+					Seed:          tc.cfg.Seed,
+					FrameDropRate: tc.cfg.FrameDropRate,
+					CorruptRate:   tc.cfg.CorruptRate,
+					BurstRate:     tc.cfg.BurstRate,
+				},
+			})
+			if err != nil {
+				t.Fatalf("read failed: %v", err)
+			}
+			entry := obs.DefaultFlight.Find(seed)
+			if entry == nil {
+				t.Fatalf("read with injected %s faults not in the flight ring", tc.kind)
+			}
+			if reading.FlightSeq != entry.Seq {
+				t.Errorf("Reading.FlightSeq = %d, ring entry seq = %d", reading.FlightSeq, entry.Seq)
+			}
+			if entry.Why != obs.FlightWhyFault {
+				t.Errorf("why = %q, want %q", entry.Why, obs.FlightWhyFault)
+			}
+			// The entry's fault kinds must reproduce the injector's schedule.
+			inj, err := fault.New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			poses := reading.Stats.Frames / 2
+			kinds := inj.Kinds(poses)
+			if kinds.Total() == 0 {
+				t.Fatalf("schedule injected nothing over %d poses; raise the rate", poses)
+			}
+			wantKinds := kinds.Labels()
+			if fmt.Sprint(entry.FaultKinds) != fmt.Sprint(wantKinds) {
+				t.Errorf("entry fault kinds = %v, want %v", entry.FaultKinds, wantKinds)
+			}
+			// Degradation counters agree with both the Reading and, for pure
+			// frame drops, the schedule itself.
+			if entry.FramesDropped != reading.Stats.FramesDropped ||
+				entry.SamplesScrubbed != reading.Stats.SamplesScrubbed {
+				t.Errorf("entry counters (dropped %d, scrubbed %d) disagree with Reading (%d, %d)",
+					entry.FramesDropped, entry.SamplesScrubbed,
+					reading.Stats.FramesDropped, reading.Stats.SamplesScrubbed)
+			}
+			if tc.kind == "drop" && entry.FramesDropped != kinds.Drop {
+				t.Errorf("entry dropped %d frames, schedule drops %d", entry.FramesDropped, kinds.Drop)
+			}
+			if entry.Seed != seed || entry.Workers < 1 || entry.WallMs <= 0 {
+				t.Errorf("entry identity incomplete: %+v", entry)
+			}
+			if entry.ConfigFP == "" {
+				t.Error("recorded entry has no config fingerprint")
+			}
+			if entry.Spans == nil || entry.Spans.Name != "read" {
+				t.Errorf("recorded entry has no read span tree: %+v", entry.Spans)
+			}
+		})
+	}
+}
+
+// TestChaosFlightRecordsBudgetFailure: a read that fails past the loss
+// budget must land in the ring as an error entry carrying the error string.
+func TestChaosFlightRecordsBudgetFailure(t *testing.T) {
+	tag, err := NewTag("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 91990
+	reading, err := NewReader().Read(tag, ReadOptions{
+		Seed:  seed,
+		Fault: &FaultOptions{Seed: 7, FrameDropRate: 0.9},
+	})
+	if err == nil {
+		t.Fatal("read succeeded with 90% frame loss")
+	}
+	if reading == nil || reading.FlightSeq < 0 {
+		t.Fatalf("failed read not offered to the flight recorder: %+v", reading)
+	}
+	entry := obs.DefaultFlight.Find(seed)
+	if entry == nil {
+		t.Fatal("failed read not in the flight ring")
+	}
+	if entry.Why != obs.FlightWhyError {
+		t.Errorf("why = %q, want %q", entry.Why, obs.FlightWhyError)
+	}
+	if entry.Outcome != "partial" {
+		t.Errorf("outcome = %q, want partial", entry.Outcome)
+	}
+	if entry.Err == "" || !strings.Contains(entry.Err, "frames lost") {
+		t.Errorf("entry error %q does not carry the frame-loss cause", entry.Err)
 	}
 }

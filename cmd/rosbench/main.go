@@ -8,9 +8,13 @@
 // trajectory. A failing experiment no longer loses the run: its record entry
 // carries an "error" field and the remaining experiments still execute.
 //
-// -serve starts the observability endpoints (Prometheus /metrics, expvar
-// /debug/vars, /debug/pprof/) for the duration of the run, so long sweeps
-// can be profiled live; -log enables structured logging at the given level.
+// -serve starts the observability endpoints (Prometheus /metrics, the
+// flight recorder at /debug/flight, expvar /debug/vars, /debug/pprof/) and a
+// runtime-metrics poller for the duration of the run, so long sweeps can be
+// profiled live; -log enables structured logging at the given level.
+// -flight dumps the flight-recorder ring as JSON after the run, and -trace
+// writes the canonical read's span tree as Chrome trace_event JSON loadable
+// in Perfetto ("-" writes either to stdout).
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -131,6 +136,22 @@ func runExperiment(ctx context.Context, g experiments.Generator) (timing expTimi
 	return timing, g.Run(ctx).String()
 }
 
+// writeTo streams write into path, with "-" meaning stdout.
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // appendTrend appends the record as one JSON line to path.
 func appendTrend(path string, rec benchRecord) error {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
@@ -150,7 +171,9 @@ func main() {
 	outPath := flag.String("o", "", "also write the tables to this file")
 	jsonMode := flag.Bool("json", false, "emit a machine-readable benchmark record instead of tables")
 	trendPath := flag.String("trend", "", "append the benchmark record as one JSON line to this file")
-	serveAddr := flag.String("serve", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the duration of the run (e.g. localhost:6060)")
+	serveAddr := flag.String("serve", "", "serve /metrics, /debug/flight, /debug/vars and /debug/pprof on this address for the duration of the run (e.g. localhost:6060)")
+	flightPath := flag.String("flight", "", "after the run, dump the flight recorder (recent reads, newest first) as JSON to this file (\"-\" for stdout)")
+	tracePath := flag.String("trace", "", "write the canonical read's span tree as Chrome trace_event JSON to this file (\"-\" for stdout); load in Perfetto")
 	logLevel := flag.String("log", "off", "structured log level: debug, info, warn, error or off")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the run; on expiry experiments stop at the next drive-by boundary (0 disables)")
 	flag.Parse()
@@ -180,6 +203,13 @@ func main() {
 		return
 	}
 
+	// An explicit -flight asks for forensics on this run: record every read
+	// instead of the default 1-in-N background sample, so clean runs still
+	// leave a non-empty dump.
+	if *flightPath != "" {
+		obs.DefaultFlight.SetSampleEvery(1)
+	}
+
 	if *serveAddr != "" {
 		srv, err := httpserve.Start(*serveAddr, obs.Default)
 		if err != nil {
@@ -187,7 +217,11 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "rosbench: observability on http://%s/ (metrics, expvar, pprof)\n", srv.Addr())
+		// Poll the Go runtime (heap, GC pauses, scheduler latency) into the
+		// served gauges while the run lasts.
+		rt := obs.StartRuntime(obs.Default, time.Second)
+		defer rt.Stop()
+		fmt.Fprintf(os.Stderr, "rosbench: observability on http://%s/ (metrics, flight, expvar, pprof)\n", srv.Addr())
 	}
 
 	gens := experiments.Registry()
@@ -271,6 +305,22 @@ func main() {
 		if read.Span != nil {
 			v := read.Span.View()
 			rec.Spans = &v
+		}
+	}
+
+	if *tracePath != "" {
+		if read == nil || read.Span == nil {
+			fmt.Fprintln(os.Stderr, "rosbench: -trace: no canonical read span to export")
+			failures++
+		} else if err := writeTo(*tracePath, read.Span.WriteTraceEvents); err != nil {
+			fmt.Fprintln(os.Stderr, "rosbench: -trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *flightPath != "" {
+		if err := writeTo(*flightPath, obs.DefaultFlight.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "rosbench: -flight:", err)
+			os.Exit(1)
 		}
 	}
 

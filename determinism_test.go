@@ -12,6 +12,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
+
+	"ros/internal/obs"
 )
 
 // readCapture runs one seeded read and returns the reading plus the saved
@@ -83,5 +86,44 @@ func TestReadStatsPopulated(t *testing.T) {
 	}
 	if s.Synthesize <= 0 || s.RangeFFT <= 0 || s.Wall <= 0 {
 		t.Errorf("stage times not recorded: %+v", s)
+	}
+}
+
+// TestReadIdenticalUnderFullTelemetry is the observability-neutrality
+// contract: with the flight recorder capturing every read and the runtime
+// poller sampling at a tight interval, reads must stay byte-identical across
+// worker counts — the telemetry layer draws no randomness and never feeds
+// back into the simulation.
+func TestReadIdenticalUnderFullTelemetry(t *testing.T) {
+	prevEvery := obs.DefaultFlight.SetSampleEvery(1) // record every read
+	defer obs.DefaultFlight.SetSampleEvery(prevEvery)
+	rt := obs.StartRuntime(obs.Default, time.Millisecond)
+	defer rt.Stop()
+
+	base, baseCapture := readCapture(t, 1)
+	if base.FlightSeq < 0 {
+		t.Fatal("sample-every 1 but the read was not flight-recorded")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, capture := readCapture(t, workers)
+		if got.Bits != base.Bits || got.SNRdB != base.SNRdB ||
+			got.RSSLossDB != base.RSSLossDB || got.MedianRSSdBm != base.MedianRSSdBm {
+			t.Errorf("workers=%d under telemetry: outcome diverged: bits %q vs %q, SNR %v vs %v",
+				workers, got.Bits, base.Bits, got.SNRdB, base.SNRdB)
+		}
+		if string(capture) != string(baseCapture) {
+			t.Errorf("workers=%d under telemetry: capture samples not byte-identical", workers)
+		}
+		if got.FlightSeq < 0 {
+			t.Errorf("workers=%d: read not flight-recorded at sample-every 1", workers)
+		}
+		// The flight entry itself agrees on everything deterministic.
+		a := obs.DefaultFlight.Find(42)
+		if a == nil {
+			t.Fatalf("workers=%d: seed 42 missing from the flight ring", workers)
+		}
+		if a.Outcome != "ok" || a.FramesDropped != 0 || len(a.FaultKinds) != 0 {
+			t.Errorf("workers=%d: clean read recorded as %+v", workers, a)
+		}
 	}
 }

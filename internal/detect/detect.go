@@ -60,6 +60,8 @@ var (
 		"pipeline runs that classified a tag")
 	mFramesDropped = obs.Default.Counter("ros_frames_dropped_total",
 		"frame poses lost to drops, corruption, or worker failure")
+	mFramesDroppedByKind = obs.Default.CounterVec("ros_frames_dropped_by_kind_total",
+		"frame poses lost, by failure kind", "kind")
 	mSamplesScrubbed = obs.Default.Counter("ros_samples_scrubbed_total",
 		"non-finite baseband samples zeroed before the range transform")
 )
@@ -269,11 +271,21 @@ type frameData struct {
 	points   []cluster.Point
 	// ok marks frames whose profiles are valid; dropped marks frames lost
 	// to injected drops or corruption past the repair threshold (a frame a
-	// cancelled run never reached is neither ok nor dropped). scrubbed
-	// counts non-finite samples repaired before the range transform.
+	// cancelled run never reached is neither ok nor dropped). dropKind
+	// labels the loss ("drop", "corrupt", "worker") for the per-kind
+	// counter; scrubbed counts non-finite samples repaired before the range
+	// transform.
 	ok, dropped bool
+	dropKind    string
 	scrubbed    int
 }
+
+// Frame-loss kinds for frameData.dropKind and the per-kind drop counter.
+const (
+	dropKindDrop    = "drop"    // injected whole-frame loss
+	dropKindCorrupt = "corrupt" // corruption past the scrub repair threshold
+	dropKindWorker  = "worker"  // worker failure (recovered panic or error)
+)
 
 // tagSample is the per-frame output of the parallel decode-mode RCS
 // sampling pass; ok marks frames where the tag was within the radar's view.
@@ -332,7 +344,7 @@ func (p *Pipeline) synthesizeFrames(ctx context.Context, sc *scene.Scene, truth 
 				panic(fmt.Errorf("fault: injected worker panic at frame %d: %w", i, roserr.ErrFrameCorrupt))
 			}
 			if ff.Drop {
-				return frameData{dropped: true}, nil
+				return frameData{dropped: true, dropKind: dropKindDrop}, nil
 			}
 			if ff.Corrupt || ff.Burst {
 				return p.synthesizeFaultyFrame(sc, truth[i], vel, seed, i, ff, plan, fe, f,
@@ -393,7 +405,7 @@ func (p *Pipeline) synthesizeFaultyFrame(sc *scene.Scene, pose geom.Vec3, vel ge
 	if float64(scrubbed) > maxScrubFraction*float64(2*len(detFrame.Data)) {
 		radar.ReleaseFrame(detFrame)
 		radar.ReleaseFrame(decFrame)
-		return frameData{dropped: true, scrubbed: scrubbed}, nil
+		return frameData{dropped: true, dropKind: dropKindCorrupt, scrubbed: scrubbed}, nil
 	}
 	fd := frameData{
 		det:      plan.RangeProfile(detFrame),
@@ -598,19 +610,25 @@ func (p *Pipeline) RunContext(ctx context.Context, sc *scene.Scene, truth, est [
 				continue
 			}
 			fd.dropped = true
+			fd.dropKind = dropKindWorker
 		}
 	}
 	completed, dropped, scrubbed := 0, 0, 0
+	dropKinds := map[string]int64{}
 	for i := range frames {
 		if frames[i].ok {
 			completed++
 		} else if done[i] && frames[i].dropped {
 			dropped++
+			dropKinds[frames[i].dropKind]++
 		}
 		scrubbed += frames[i].scrubbed
 	}
 	if dropped > 0 {
 		mFramesDropped.Add(int64(dropped))
+		for kind, n := range dropKinds {
+			mFramesDroppedByKind.With(kind).Add(n)
+		}
 	}
 	if scrubbed > 0 {
 		mSamplesScrubbed.Add(int64(scrubbed))

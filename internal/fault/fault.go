@@ -166,6 +166,68 @@ func (in *Injector) Frame(i int) FrameFaults {
 	return ff
 }
 
+// KindCounts totals a fault schedule by kind over a frame range.
+type KindCounts struct {
+	Drop, Panic, Corrupt, Burst, Delay int
+}
+
+// Total is the number of scheduled fault events across all kinds.
+func (k KindCounts) Total() int {
+	return k.Drop + k.Panic + k.Corrupt + k.Burst + k.Delay
+}
+
+// Labels lists the kinds that fired at least once, in the fixed gate-draw
+// order — the flight recorder's FaultKinds field.
+func (k KindCounts) Labels() []string {
+	var out []string
+	for _, e := range []struct {
+		name string
+		n    int
+	}{
+		{"drop", k.Drop},
+		{"panic", k.Panic},
+		{"corrupt", k.Corrupt},
+		{"burst", k.Burst},
+		{"delay", k.Delay},
+	} {
+		if e.n > 0 {
+			out = append(out, e.name)
+		}
+	}
+	return out
+}
+
+// Kinds replays the injector's decision schedule for frames 0..n-1 and
+// totals it by kind. Because Frame(i) is a pure function of (seed, i), the
+// counts predict exactly what a run over n frame poses injects — the chaos
+// suite compares them against the flight recorder's per-read counters. A nil
+// injector schedules nothing.
+func (in *Injector) Kinds(n int) KindCounts {
+	var k KindCounts
+	if in == nil {
+		return k
+	}
+	for i := 0; i < n; i++ {
+		ff := in.Frame(i)
+		if ff.Drop {
+			k.Drop++
+		}
+		if ff.Panic {
+			k.Panic++
+		}
+		if ff.Corrupt {
+			k.Corrupt++
+		}
+		if ff.Burst {
+			k.Burst++
+		}
+		if ff.Delay > 0 {
+			k.Delay++
+		}
+	}
+	return k
+}
+
 // Apply injects the decision's sample-level faults into one channel-major
 // frame buffer (channel k occupies data[k*samples : (k+1)*samples]) and
 // returns how many samples were overwritten with non-finite values. The

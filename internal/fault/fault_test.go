@@ -170,3 +170,74 @@ func TestDefaultsFilled(t *testing.T) {
 		t.Errorf("defaults not filled: %+v", cfg)
 	}
 }
+
+// TestKindsMatchesFrameSchedule pins the Kinds replay to the per-frame
+// decisions: the totals must agree with counting Frame(i) by hand, and a
+// kind's count must be invariant to enabling other kinds (the fixed gate-draw
+// order contract).
+func TestKindsMatchesFrameSchedule(t *testing.T) {
+	cfg := Config{Seed: 11, FrameDropRate: 0.2, CorruptRate: 0.1,
+		BurstRate: 0.05, PanicRate: 0.02, DelayRate: 0.3}
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	var want KindCounts
+	for i := 0; i < n; i++ {
+		ff := in.Frame(i)
+		if ff.Drop {
+			want.Drop++
+		}
+		if ff.Panic {
+			want.Panic++
+		}
+		if ff.Corrupt {
+			want.Corrupt++
+		}
+		if ff.Burst {
+			want.Burst++
+		}
+		if ff.Delay > 0 {
+			want.Delay++
+		}
+	}
+	if got := in.Kinds(n); got != want {
+		t.Errorf("Kinds(%d) = %+v, want %+v", n, got, want)
+	}
+	if want.Total() == 0 {
+		t.Fatal("schedule injected nothing; rates or seed broken")
+	}
+	// Drop-only config at the same seed schedules the same drops.
+	dropOnly, err := New(Config{Seed: 11, FrameDropRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dropOnly.Kinds(n).Drop; got != want.Drop {
+		t.Errorf("drop-only schedule drops %d frames, want %d (other knobs reshuffled the gate draws)", got, want.Drop)
+	}
+	var nilInj *Injector
+	if got := nilInj.Kinds(n); got != (KindCounts{}) {
+		t.Errorf("nil injector Kinds = %+v, want zero", got)
+	}
+}
+
+func TestKindCountsLabels(t *testing.T) {
+	k := KindCounts{Drop: 2, Burst: 1, Delay: 3}
+	got := k.Labels()
+	want := []string{"drop", "burst", "delay"}
+	if len(got) != len(want) {
+		t.Fatalf("Labels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v (fixed gate order)", got, want)
+		}
+	}
+	if (KindCounts{}).Labels() != nil {
+		t.Error("zero counts should yield no labels")
+	}
+	if k.Total() != 6 {
+		t.Errorf("Total = %d, want 6", k.Total())
+	}
+}

@@ -10,18 +10,21 @@ import (
 	"strings"
 )
 
-// CounterSnap is one counter in a Snapshot.
+// CounterSnap is one counter in a Snapshot. Labels is set for the children
+// of a CounterVec and empty for scalar counters.
 type CounterSnap struct {
-	Name  string `json:"name"`
-	Help  string `json:"help,omitempty"`
-	Value int64  `json:"value"`
+	Name   string            `json:"name"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
 }
 
 // GaugeSnap is one gauge in a Snapshot.
 type GaugeSnap struct {
-	Name  string  `json:"name"`
-	Help  string  `json:"help,omitempty"`
-	Value float64 `json:"value"`
+	Name   string            `json:"name"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
 }
 
 // BucketSnap is one cumulative histogram bucket: Count observations <= LE.
@@ -40,12 +43,15 @@ func (b BucketSnap) MarshalJSON() ([]byte, error) {
 }
 
 // HistogramSnap is one histogram in a Snapshot; buckets are cumulative.
+// NonFinite counts NaN/±Inf observations diverted from the buckets.
 type HistogramSnap struct {
-	Name    string       `json:"name"`
-	Help    string       `json:"help,omitempty"`
-	Count   int64        `json:"count"`
-	Sum     float64      `json:"sum"`
-	Buckets []BucketSnap `json:"buckets"`
+	Name      string            `json:"name"`
+	Help      string            `json:"help,omitempty"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Count     int64             `json:"count"`
+	Sum       float64           `json:"sum"`
+	NonFinite int64             `json:"nonfinite,omitempty"`
+	Buckets   []BucketSnap      `json:"buckets"`
 }
 
 // Snapshot is a point-in-time copy of a registry, sorted by name so that
@@ -56,7 +62,24 @@ type Snapshot struct {
 	Histograms []HistogramSnap `json:"histograms"`
 }
 
-// Snapshot copies the registry's current state.
+// histSnap renders one histogram (scalar or vector child) into a snapshot.
+func histSnap(name, help string, labels map[string]string, h *Histogram) HistogramSnap {
+	hs := HistogramSnap{Name: name, Help: help, Labels: labels,
+		Count: h.Count(), Sum: h.Sum(), NonFinite: h.NonFinite()}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		hs.Buckets = append(hs.Buckets, BucketSnap{LE: b, Count: cum})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	hs.Buckets = append(hs.Buckets, BucketSnap{LE: math.Inf(1), Count: cum})
+	return hs
+}
+
+// Snapshot copies the registry's current state, including every resident
+// child of the labeled vectors (the overflow children past the cardinality
+// cap are deliberately absent — obs_dropped_labelsets_total accounts for
+// them).
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -64,53 +87,126 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, c := range r.counters {
 		s.Counters = append(s.Counters, CounterSnap{Name: name, Help: c.help, Value: c.Value()})
 	}
+	for name, cv := range r.counterVecs {
+		for _, l := range cv.v.snapshot() {
+			s.Counters = append(s.Counters, CounterSnap{Name: name, Help: cv.v.help,
+				Labels: cv.v.labelMap(l.values), Value: l.child.Value()})
+		}
+	}
 	for name, g := range r.gauges {
 		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Help: g.help, Value: g.Value()})
 	}
-	for name, h := range r.histograms {
-		hs := HistogramSnap{Name: name, Help: h.help, Count: h.Count(), Sum: h.Sum()}
-		cum := int64(0)
-		for i, b := range h.bounds {
-			cum += h.counts[i].Load()
-			hs.Buckets = append(hs.Buckets, BucketSnap{LE: b, Count: cum})
+	for name, gv := range r.gaugeVecs {
+		for _, l := range gv.v.snapshot() {
+			s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Help: gv.v.help,
+				Labels: gv.v.labelMap(l.values), Value: l.child.Value()})
 		}
-		cum += h.counts[len(h.bounds)].Load()
-		hs.Buckets = append(hs.Buckets, BucketSnap{LE: math.Inf(1), Count: cum})
-		s.Histograms = append(s.Histograms, hs)
 	}
-	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
-	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
-	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	for name, h := range r.histograms {
+		s.Histograms = append(s.Histograms, histSnap(name, h.help, nil, h))
+	}
+	for name, hv := range r.histogramVecs {
+		for _, l := range hv.v.snapshot() {
+			s.Histograms = append(s.Histograms, histSnap(name, hv.v.help, hv.v.labelMap(l.values), l.child))
+		}
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return snapLess(s.Counters[i].Name, s.Counters[i].Labels, s.Counters[j].Name, s.Counters[j].Labels)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		return snapLess(s.Gauges[i].Name, s.Gauges[i].Labels, s.Gauges[j].Name, s.Gauges[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return snapLess(s.Histograms[i].Name, s.Histograms[i].Labels, s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
 	return s
 }
 
+// snapLess orders snapshot entries by name, then rendered label set, so equal
+// registry states serialize identically.
+func snapLess(nameA string, labelsA map[string]string, nameB string, labelsB map[string]string) bool {
+	if nameA != nameB {
+		return nameA < nameB
+	}
+	return labelString(labelsA) < labelString(labelsB)
+}
+
+// labelString renders a label set as the Prometheus {k="v",...} selector with
+// keys sorted; empty labels render as "".
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // WritePrometheus writes the registry in the Prometheus text exposition
-// format (text/plain; version=0.0.4).
+// format (text/plain; version=0.0.4). Vector children render as
+// name{label="value"} series; the HELP/TYPE header is written once per
+// family (children sort adjacently).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	var b strings.Builder
+	prev := ""
 	for _, c := range s.Counters {
-		writeHeader(&b, c.Name, c.Help, "counter")
-		fmt.Fprintf(&b, "%s %d\n", c.Name, c.Value)
+		if c.Name != prev {
+			writeHeader(&b, c.Name, c.Help, "counter")
+			prev = c.Name
+		}
+		fmt.Fprintf(&b, "%s%s %d\n", c.Name, labelString(c.Labels), c.Value)
 	}
+	prev = ""
 	for _, g := range s.Gauges {
-		writeHeader(&b, g.Name, g.Help, "gauge")
-		fmt.Fprintf(&b, "%s %s\n", g.Name, formatFloat(g.Value))
+		if g.Name != prev {
+			writeHeader(&b, g.Name, g.Help, "gauge")
+			prev = g.Name
+		}
+		fmt.Fprintf(&b, "%s%s %s\n", g.Name, labelString(g.Labels), formatFloat(g.Value))
 	}
+	prev = ""
 	for _, h := range s.Histograms {
-		writeHeader(&b, h.Name, h.Help, "histogram")
+		if h.Name != prev {
+			writeHeader(&b, h.Name, h.Help, "histogram")
+			prev = h.Name
+		}
+		ls := labelString(h.Labels)
 		for _, bk := range h.Buckets {
 			le := "+Inf"
 			if !math.IsInf(bk.LE, 1) {
 				le = formatFloat(bk.LE)
 			}
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.Name, le, bk.Count)
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", h.Name, withLE(ls, le), bk.Count)
 		}
-		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
-		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", h.Name, ls, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, ls, h.Count)
+		if h.NonFinite > 0 {
+			fmt.Fprintf(&b, "%s_nonfinite_total%s %d\n", h.Name, ls, h.NonFinite)
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// withLE merges the le bucket label into a rendered label selector.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("%s,le=%q}", labels[:len(labels)-1], le)
 }
 
 // WriteJSON writes the registry snapshot as indented JSON.

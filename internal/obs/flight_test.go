@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightAlwaysRecordsBadReads(t *testing.T) {
+	f := NewFlight(8)
+	f.SetSampleEvery(1 << 30) // background sample effectively off
+	cases := []FlightEntry{
+		{Outcome: "partial", Seed: 1},
+		{Outcome: "ok", Seed: 2, Err: "boom"},
+		{Outcome: "ok", Seed: 3, FramesDropped: 4},
+		{Outcome: "ok", Seed: 4, SamplesScrubbed: 9},
+		{Outcome: "ok", Seed: 5, FaultKinds: []string{"burst"}},
+		{Outcome: "undecodable", Seed: 6},
+	}
+	wantWhy := []string{
+		FlightWhyError, FlightWhyError, FlightWhyFault,
+		FlightWhyFault, FlightWhyFault, FlightWhyError,
+	}
+	for i := range cases {
+		e := cases[i]
+		seq, ok := f.Offer(&e, nil)
+		if !ok {
+			t.Fatalf("case %d (seed %d) not recorded", i, e.Seed)
+		}
+		if seq != int64(i) {
+			t.Errorf("case %d seq = %d, want %d", i, seq, i)
+		}
+		if e.Why != wantWhy[i] {
+			t.Errorf("case %d why = %q, want %q", i, e.Why, wantWhy[i])
+		}
+	}
+	if got := len(f.Snapshot()); got != len(cases) {
+		t.Errorf("snapshot holds %d entries, want %d", got, len(cases))
+	}
+}
+
+func TestFlightSamplesHealthyReads(t *testing.T) {
+	f := NewFlight(512)
+	const n = 400
+	kept := 0
+	for i := 0; i < n; i++ {
+		e := &FlightEntry{Outcome: "ok", Seed: int64(i), WallMs: 10}
+		if _, ok := f.Offer(e, nil); ok {
+			kept++
+		}
+	}
+	// Background sampling keeps roughly 1 in flightSampleEvery; the hash is
+	// deterministic so the exact count is stable, but assert only the band.
+	if kept == 0 || kept == n {
+		t.Fatalf("kept %d of %d healthy reads; want strict sampling between", kept, n)
+	}
+	if lo, hi := n/(4*flightSampleEvery), 4*n/flightSampleEvery; kept < lo || kept > hi {
+		t.Errorf("kept %d of %d, outside plausible band [%d, %d]", kept, n, lo, hi)
+	}
+}
+
+func TestFlightSlowReadAlwaysKept(t *testing.T) {
+	f := NewFlight(64)
+	f.SetSampleEvery(1 << 30)
+	// Establish a healthy mean around 10 ms.
+	for i := 0; i < 50; i++ {
+		f.Offer(&FlightEntry{Outcome: "ok", Seed: int64(i), WallMs: 10}, nil)
+	}
+	e := &FlightEntry{Outcome: "ok", Seed: 999, WallMs: 100}
+	if _, ok := f.Offer(e, nil); !ok {
+		t.Fatal("10x-mean read not recorded")
+	}
+	if e.Why != FlightWhySlow {
+		t.Errorf("why = %q, want %q", e.Why, FlightWhySlow)
+	}
+}
+
+func TestFlightSampleEveryOneRecordsAll(t *testing.T) {
+	f := NewFlight(32)
+	f.SetSampleEvery(1)
+	for i := 0; i < 20; i++ {
+		if _, ok := f.Offer(&FlightEntry{Outcome: "ok", Seed: int64(i), WallMs: 5}, nil); !ok {
+			t.Fatalf("read %d not recorded with sample-every 1", i)
+		}
+	}
+}
+
+func TestFlightRingWraps(t *testing.T) {
+	f := NewFlight(4)
+	f.SetSampleEvery(1)
+	for i := 0; i < 10; i++ {
+		f.Offer(&FlightEntry{Outcome: "ok", Seed: int64(i)}, nil)
+	}
+	snap := f.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(snap))
+	}
+	// Newest first: seqs 9, 8, 7, 6.
+	for i, want := range []int64{9, 8, 7, 6} {
+		if snap[i].Seq != want {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, snap[i].Seq, want)
+		}
+	}
+	if f.Find(9) == nil || f.Find(0) != nil {
+		t.Error("Find: want seed 9 resident and seed 0 evicted")
+	}
+}
+
+func TestFlightDisabled(t *testing.T) {
+	f := NewFlight(8)
+	if prev := f.SetEnabled(false); !prev {
+		t.Error("SetEnabled(false) previous state = false, want true")
+	}
+	if _, ok := f.Offer(&FlightEntry{Outcome: "partial", Seed: 1}, nil); ok {
+		t.Error("disabled recorder still recorded an error read")
+	}
+	f.SetEnabled(true)
+	if _, ok := f.Offer(&FlightEntry{Outcome: "partial", Seed: 1}, nil); !ok {
+		t.Error("re-enabled recorder did not record")
+	}
+}
+
+func TestFlightFillOnlyOnRecord(t *testing.T) {
+	f := NewFlight(8)
+	f.SetSampleEvery(1 << 30)
+	filled := 0
+	fill := func(e *FlightEntry) { filled++ }
+	f.Offer(&FlightEntry{Outcome: "ok", Seed: 1, WallMs: 5}, fill)
+	f.Offer(&FlightEntry{Outcome: "partial", Seed: 2}, fill)
+	if filled != 1 {
+		t.Errorf("fill ran %d times, want 1 (only for the recorded entry)", filled)
+	}
+}
+
+func TestFlightWriteJSON(t *testing.T) {
+	f := NewFlight(8)
+	f.SetSampleEvery(1)
+	e := &FlightEntry{
+		Outcome: "no_tag", Seed: 7, Workers: 4,
+		SNRdB: JSONFloat(math.Inf(-1)), BER: 0.5, WallMs: 12.5,
+		FaultKinds: []string{"drop", "burst"},
+		Spans:      &SpanView{Name: "read", WallMs: 12.5},
+	}
+	f.Offer(e, nil)
+	var b bytes.Buffer
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(b.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	if dump.Capacity != 8 || dump.Recorded != 1 || dump.Offered != 1 {
+		t.Errorf("dump header = %+v, want capacity 8, recorded 1, offered 1", dump)
+	}
+	if len(dump.Entries) != 1 {
+		t.Fatalf("dump holds %d entries, want 1", len(dump.Entries))
+	}
+	got := dump.Entries[0]
+	if !math.IsNaN(float64(got.SNRdB)) {
+		t.Errorf("-Inf SNR round-tripped to %v, want null -> NaN", got.SNRdB)
+	}
+	if !strings.Contains(b.String(), `"snr_db": null`) {
+		t.Errorf("dump does not render non-finite SNR as null:\n%s", b.String())
+	}
+	if got.Spans == nil || got.Spans.Name != "read" {
+		t.Errorf("span view lost in round trip: %+v", got.Spans)
+	}
+	if got.Time == "" {
+		t.Error("recorded entry has no timestamp")
+	}
+}
+
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlight(64)
+	f.SetSampleEvery(1)
+	var wg sync.WaitGroup
+	const workers, iters = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				f.Offer(&FlightEntry{Outcome: "ok", Seed: int64(w*iters + i)}, nil)
+				_ = f.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := f.seq.Load(); got != workers*iters {
+		t.Errorf("recorded %d entries, want %d", got, workers*iters)
+	}
+	if got := len(f.Snapshot()); got != 64 {
+		t.Errorf("snapshot holds %d entries, want full ring 64", got)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a := Fingerprint("cfg-a", "radar-1")
+	if b := Fingerprint("cfg-a", "radar-1"); b != a {
+		t.Errorf("equal inputs fingerprint differently: %s vs %s", a, b)
+	}
+	if b := Fingerprint("cfg-b", "radar-1"); b == a {
+		t.Error("different inputs share a fingerprint")
+	}
+	// The separator keeps boundaries significant.
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Error("fingerprint ignores part boundaries")
+	}
+	if len(a) != 16 {
+		t.Errorf("fingerprint %q is not 16 hex chars", a)
+	}
+}

@@ -1,7 +1,8 @@
 // Package httpserve exposes an obs.Registry over HTTP for live inspection of
 // long sweeps: Prometheus text at /metrics, the JSON snapshot at
-// /metrics.json, expvar at /debug/vars, and the stdlib pprof profiler under
-// /debug/pprof/. rosbench -serve is the canonical user.
+// /metrics.json, the flight-recorder ring at /debug/flight, expvar at
+// /debug/vars, and the stdlib pprof profiler under /debug/pprof/.
+// rosbench -serve is the canonical user.
 package httpserve
 
 import (
@@ -36,6 +37,7 @@ func Mux(reg *obs.Registry) *http.ServeMux {
 		fmt.Fprint(w, "ros observability endpoints:\n"+
 			"  /metrics       Prometheus text exposition\n"+
 			"  /metrics.json  JSON snapshot\n"+
+			"  /debug/flight  flight recorder (recent reads, newest first)\n"+
 			"  /debug/vars    expvar (includes ros_metrics)\n"+
 			"  /debug/pprof/  runtime profiles\n")
 	})
@@ -49,6 +51,12 @@ func Mux(reg *obs.Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.WriteJSON(w); err != nil {
 			obs.Logger().Error("metrics JSON exposition failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.DefaultFlight.WriteJSON(w); err != nil {
+			obs.Logger().Error("flight exposition failed", "err", err)
 		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())

@@ -88,3 +88,60 @@ func TestStartTwice(t *testing.T) {
 		t.Error("two servers share an address")
 	}
 }
+
+// getFull fetches a URL and returns status, Content-Type, and body.
+func getFull(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+// TestRouteContentTypes pins status and Content-Type for every route the mux
+// serves, including the flight recorder.
+func TestRouteContentTypes(t *testing.T) {
+	// Seed the process-global flight recorder so /debug/flight has an entry.
+	obs.DefaultFlight.Offer(&obs.FlightEntry{Outcome: "partial", Seed: 424242}, nil)
+	srv, err := Start("localhost:0", nil) // nil serves the Default registry
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	cases := []struct {
+		path, wantCT, wantBody string
+	}{
+		{"/", "text/plain", "/debug/flight"},
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8", "obs_dropped_labelsets_total"},
+		{"/metrics.json", "application/json", `"counters"`},
+		{"/debug/flight", "application/json", `"capacity"`},
+		{"/debug/vars", "application/json", "ros_metrics"},
+		{"/debug/pprof/", "text/html; charset=utf-8", "pprof"},
+	}
+	for _, tc := range cases {
+		code, ct, body := getFull(t, base+tc.path)
+		if code != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", tc.path, code)
+		}
+		if !strings.HasPrefix(ct, tc.wantCT) {
+			t.Errorf("%s Content-Type = %q, want prefix %q", tc.path, ct, tc.wantCT)
+		}
+		if !strings.Contains(body, tc.wantBody) {
+			t.Errorf("%s body missing %q:\n%.300s", tc.path, tc.wantBody, body)
+		}
+	}
+
+	// The seeded entry round-trips through the endpoint.
+	_, _, body := getFull(t, base+"/debug/flight")
+	if !strings.Contains(body, `"seed": 424242`) {
+		t.Errorf("/debug/flight missing the seeded entry:\n%.400s", body)
+	}
+}

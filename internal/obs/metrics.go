@@ -12,10 +12,13 @@ import (
 // and safe to cache in package variables; observation methods are lock-free
 // (atomic adds / CAS), so the registry can sit on the per-frame hot path.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu            sync.RWMutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // Default is the process-wide registry used by the instrumented pipeline and
@@ -25,9 +28,12 @@ var Default = NewRegistry()
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		counterVecs:   make(map[string]*CounterVec),
+		gaugeVecs:     make(map[string]*GaugeVec),
+		histogramVecs: make(map[string]*HistogramVec),
 	}
 }
 
@@ -62,15 +68,24 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // bucket i counts observations <= bounds[i], plus one overflow bucket.
 // Observation is a binary search plus two atomic adds.
 type Histogram struct {
-	help   string
-	bounds []float64      // strictly increasing upper bounds
-	counts []atomic.Int64 // len(bounds)+1, last is +Inf
-	count  atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	help      string
+	bounds    []float64      // strictly increasing upper bounds
+	counts    []atomic.Int64 // len(bounds)+1, last is +Inf
+	count     atomic.Int64
+	sum       atomic.Uint64 // float64 bits, CAS-accumulated
+	nonFinite atomic.Int64  // NaN/±Inf observations diverted from sum
 }
 
-// Observe records one value.
+// Observe records one value. NaN and ±Inf observations are diverted to a
+// dedicated non-finite counter (NonFinite, exposed as <name>_nonfinite_total)
+// instead of the buckets: a single NaN CAS-ed into sum would poison every
+// later mean, and an Inf would saturate it, turning one bad sample into a
+// permanently corrupt metric.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.nonFinite.Add(1)
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
@@ -82,6 +97,10 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 }
+
+// NonFinite returns the number of NaN/±Inf observations diverted from the
+// buckets.
+func (h *Histogram) NonFinite() int64 { return h.nonFinite.Load() }
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -206,5 +225,14 @@ func (r *Registry) checkFreeLocked(name, kind string) {
 	}
 	if _, ok := r.histograms[name]; ok {
 		panic(fmt.Sprintf("obs: %q already registered as histogram, not %s", name, kind))
+	}
+	if _, ok := r.counterVecs[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as counter vector, not %s", name, kind))
+	}
+	if _, ok := r.gaugeVecs[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as gauge vector, not %s", name, kind))
+	}
+	if _, ok := r.histogramVecs[name]; ok {
+		panic(fmt.Sprintf("obs: %q already registered as histogram vector, not %s", name, kind))
 	}
 }

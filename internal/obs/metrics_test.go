@@ -64,6 +64,38 @@ func TestHistogramBucketing(t *testing.T) {
 	}
 }
 
+// TestHistogramNonFiniteGuard is the regression test for the NaN/±Inf
+// diversion: one bad observation must not poison sum or count, and must stay
+// visible on the NonFinite counter.
+func TestHistogramNonFiniteGuard(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 10})
+	h.Observe(5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(3)
+	if got := h.Count(); got != 2 {
+		t.Errorf("count = %d, want 2 (non-finite diverted)", got)
+	}
+	if got := h.Sum(); got != 8 {
+		t.Errorf("sum = %v, want 8 (non-finite diverted)", got)
+	}
+	if math.IsNaN(h.Sum()) || math.IsInf(h.Sum(), 0) {
+		t.Errorf("sum corrupted to %v", h.Sum())
+	}
+	if got := h.NonFinite(); got != 3 {
+		t.Errorf("NonFinite = %d, want 3", got)
+	}
+	snap := findHist(t, r, "h")
+	if snap.NonFinite != 3 {
+		t.Errorf("snapshot NonFinite = %d, want 3", snap.NonFinite)
+	}
+	if snap.Buckets[len(snap.Buckets)-1].Count != 2 {
+		t.Errorf("+Inf bucket = %d, want 2", snap.Buckets[len(snap.Buckets)-1].Count)
+	}
+}
+
 func findHist(t *testing.T, r *Registry, name string) HistogramSnap {
 	t.Helper()
 	for _, h := range r.Snapshot().Histograms {

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSamples maps runtime/metrics sample names onto registry gauge
+// names. Scalar samples publish directly; histogram samples publish p50,
+// p99, and max quantile gauges.
+var runtimeScalars = []struct {
+	sample, gauge, help string
+}{
+	{"/sched/goroutines:goroutines", "ros_runtime_goroutines",
+		"live goroutines"},
+	{"/memory/classes/heap/objects:bytes", "ros_runtime_heap_objects_bytes",
+		"bytes of live heap objects"},
+	{"/memory/classes/total:bytes", "ros_runtime_memory_total_bytes",
+		"total bytes mapped by the Go runtime"},
+	{"/gc/cycles/total:gc-cycles", "ros_runtime_gc_cycles_total",
+		"completed GC cycles"},
+	{"/gc/heap/allocs:bytes", "ros_runtime_alloc_bytes_total",
+		"cumulative bytes allocated on the heap"},
+}
+
+var runtimeHists = []struct {
+	sample, prefix, help string
+}{
+	{"/gc/pauses:seconds", "ros_runtime_gc_pause",
+		"stop-the-world GC pause latency (seconds)"},
+	{"/sched/latencies:seconds", "ros_runtime_sched_latency",
+		"time goroutines spend runnable before running (seconds)"},
+}
+
+// Runtime polls runtime/metrics into registry gauges on a fixed interval —
+// heap and GC telemetry for long sweeps, served alongside the pipeline
+// metrics. It reads runtime state only and never draws randomness, so a
+// polling collector cannot perturb simulation determinism.
+type Runtime struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartRuntime begins polling runtime/metrics into reg (nil uses Default)
+// every interval (<= 0 uses 1s). One sample is taken synchronously before
+// returning, so the gauges are live immediately. Stop the collector with
+// Stop.
+func StartRuntime(reg *Registry, interval time.Duration) *Runtime {
+	if reg == nil {
+		reg = Default
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	samples := make([]metrics.Sample, 0, len(runtimeScalars)+len(runtimeHists))
+	scalarGauges := make([]*Gauge, len(runtimeScalars))
+	for i, s := range runtimeScalars {
+		samples = append(samples, metrics.Sample{Name: s.sample})
+		scalarGauges[i] = reg.Gauge(s.gauge, s.help)
+	}
+	type histGauges struct{ p50, p99, max *Gauge }
+	hists := make([]histGauges, len(runtimeHists))
+	for i, h := range runtimeHists {
+		samples = append(samples, metrics.Sample{Name: h.sample})
+		hists[i] = histGauges{
+			p50: reg.Gauge(h.prefix+"_p50_seconds", h.help+", p50"),
+			p99: reg.Gauge(h.prefix+"_p99_seconds", h.help+", p99"),
+			max: reg.Gauge(h.prefix+"_max_seconds", h.help+", max"),
+		}
+	}
+	poll := func() {
+		metrics.Read(samples)
+		for i := range runtimeScalars {
+			if v, ok := sampleValue(samples[i]); ok {
+				scalarGauges[i].Set(v)
+			}
+		}
+		for i := range runtimeHists {
+			s := samples[len(runtimeScalars)+i]
+			if s.Value.Kind() != metrics.KindFloat64Histogram {
+				continue
+			}
+			h := s.Value.Float64Histogram()
+			hists[i].p50.Set(histQuantile(h, 0.50))
+			hists[i].p99.Set(histQuantile(h, 0.99))
+			hists[i].max.Set(histMax(h))
+		}
+	}
+	poll()
+	r := &Runtime{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				poll()
+			}
+		}
+	}()
+	return r
+}
+
+// Stop halts the poller and waits for its goroutine to exit. Safe to call
+// more than once.
+func (r *Runtime) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// sampleValue extracts a scalar runtime/metrics value as float64.
+func sampleValue(s metrics.Sample) (float64, bool) {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64()), true
+	case metrics.KindFloat64:
+		return s.Value.Float64(), true
+	}
+	return 0, false
+}
+
+// histQuantile estimates quantile q from a runtime/metrics histogram,
+// reporting the upper bound of the bucket the quantile falls in (the
+// convention Prometheus' histogram_quantile uses). Unbounded edge buckets
+// fall back to their finite side.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return finiteBound(h.Buckets, i+1, i)
+		}
+	}
+	return finiteBound(h.Buckets, len(h.Buckets)-1, len(h.Buckets)-2)
+}
+
+// histMax returns the upper bound of the highest non-empty bucket.
+func histMax(h *metrics.Float64Histogram) float64 {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			return finiteBound(h.Buckets, i+1, i)
+		}
+	}
+	return 0
+}
+
+// finiteBound returns Buckets[i] unless it is infinite, then Buckets[alt]
+// (clamped to 0 when that is infinite too — an all-unbounded histogram).
+func finiteBound(buckets []float64, i, alt int) float64 {
+	if i >= 0 && i < len(buckets) && !math.IsInf(buckets[i], 0) {
+		return buckets[i]
+	}
+	if alt >= 0 && alt < len(buckets) && !math.IsInf(buckets[alt], 0) {
+		return buckets[alt]
+	}
+	return 0
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+func TestStartRuntimePopulatesGauges(t *testing.T) {
+	r := NewRegistry()
+	rt := StartRuntime(r, time.Hour) // synchronous first sample; ticker idle
+	defer rt.Stop()
+	snap := r.Snapshot()
+	byName := map[string]float64{}
+	for _, g := range snap.Gauges {
+		byName[g.Name] = g.Value
+	}
+	if v, ok := byName["ros_runtime_goroutines"]; !ok || v < 1 {
+		t.Errorf("ros_runtime_goroutines = %v (present %v), want >= 1", v, ok)
+	}
+	if v, ok := byName["ros_runtime_heap_objects_bytes"]; !ok || v <= 0 {
+		t.Errorf("ros_runtime_heap_objects_bytes = %v (present %v), want > 0", v, ok)
+	}
+	for _, name := range []string{
+		"ros_runtime_memory_total_bytes",
+		"ros_runtime_gc_cycles_total",
+		"ros_runtime_alloc_bytes_total",
+		"ros_runtime_gc_pause_p50_seconds",
+		"ros_runtime_gc_pause_p99_seconds",
+		"ros_runtime_gc_pause_max_seconds",
+		"ros_runtime_sched_latency_p50_seconds",
+		"ros_runtime_sched_latency_p99_seconds",
+		"ros_runtime_sched_latency_max_seconds",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("gauge %s not registered", name)
+		}
+	}
+}
+
+func TestRuntimeStopIdempotent(t *testing.T) {
+	rt := StartRuntime(NewRegistry(), time.Millisecond)
+	time.Sleep(5 * time.Millisecond) // let the ticker fire at least once
+	rt.Stop()
+	rt.Stop() // second Stop must not panic or deadlock
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if got := histQuantile(h, 0.50); got != 2 {
+		t.Errorf("p50 = %v, want 2 (upper bound of the middle bucket)", got)
+	}
+	if got := histQuantile(h, 0.99); got != 3 {
+		t.Errorf("p99 = %v, want 3", got)
+	}
+	if got := histMax(h); got != 3 {
+		t.Errorf("max = %v, want 3", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+	if got := histMax(empty); got != 0 {
+		t.Errorf("empty histogram max = %v, want 0", got)
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one Chrome trace_event record. The exporter emits complete
+// events ("X", with ts and dur in microseconds) for spans and metadata
+// events ("M") naming the tracks, which is the subset Perfetto and
+// chrome://tracing load without preprocessing.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceDoc is the trace_event JSON object format: an event array plus the
+// display unit.
+type TraceDoc struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// traceBuilder lays a span tree out on tracks. Track 0 is the wall-clock
+// timeline; worker-summed stages additionally get one track per worker
+// showing their CPU share.
+type traceBuilder struct {
+	events []TraceEvent
+	tids   map[string]int
+}
+
+// tid returns the track id for a named track, creating it (and its
+// thread_name metadata event) on first use.
+func (b *traceBuilder) tid(name string) int {
+	if id, ok := b.tids[name]; ok {
+		return id
+	}
+	id := len(b.tids)
+	b.tids[name] = id
+	b.events = append(b.events, TraceEvent{
+		Name: "thread_name", Ph: "M", PID: 1, TID: id,
+		Args: map[string]any{"name": name},
+	})
+	return id
+}
+
+// layout emits v and its subtree starting at ts microseconds on the given
+// track and returns the wall-track time the span consumed (its wall
+// duration, or 0 for stages that only accumulated worker-summed self time —
+// those overlap their siblings on per-worker tracks instead of advancing the
+// timeline).
+func (b *traceBuilder) layout(v SpanView, ts float64, track string) float64 {
+	wallUS := v.WallMs * 1000
+	selfUS := v.SelfMs * 1000
+	args := map[string]any{}
+	for k, val := range v.Attrs {
+		args[k] = val
+	}
+	if v.SelfMs > 0 {
+		args["self_ms"] = v.SelfMs
+	}
+	if len(args) == 0 {
+		args = nil
+	}
+	if wallUS > 0 {
+		b.events = append(b.events, TraceEvent{
+			Name: v.Name, Ph: "X", TS: ts, Dur: wallUS,
+			PID: 1, TID: b.tid(track), Args: args,
+		})
+	}
+	if selfUS > 0 {
+		// Worker-summed self time: split evenly across the stage's workers
+		// so each per-worker track shows the stage's CPU share over the
+		// parent interval.
+		workers := 1
+		if w, ok := v.Attrs["workers"]; ok {
+			switch n := w.(type) {
+			case int:
+				workers = n
+			case int64:
+				workers = int(n)
+			case float64:
+				workers = int(n)
+			}
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		share := selfUS / float64(workers)
+		for w := 0; w < workers; w++ {
+			b.events = append(b.events, TraceEvent{
+				Name: v.Name, Ph: "X", TS: ts, Dur: share,
+				PID: 1, TID: b.tid(fmt.Sprintf("worker %d", w)), Args: args,
+			})
+		}
+	}
+	// Children stack sequentially on the wall track; self-time-only children
+	// consume no wall time and therefore overlap at the parent's cursor.
+	cursor := ts
+	for _, c := range v.Children {
+		cursor += b.layout(c, cursor, track)
+	}
+	return wallUS
+}
+
+// TraceEvents renders the span tree view as trace_event records.
+func (v SpanView) TraceEvents() []TraceEvent {
+	b := &traceBuilder{tids: map[string]int{}}
+	b.tid("wall") // track 0 is always the wall-clock timeline
+	b.layout(v, 0, "wall")
+	return b.events
+}
+
+// WriteTraceEvents serializes the span tree view as Chrome trace_event JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: the root's
+// wall interval on track 0, children stacked sequentially, and worker-summed
+// stages split across per-worker tracks showing CPU share.
+func (v SpanView) WriteTraceEvents(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(TraceDoc{
+		TraceEvents:     v.TraceEvents(),
+		DisplayTimeUnit: "ms",
+	})
+}
+
+// WriteTraceEvents snapshots the span tree and serializes it; see
+// SpanView.WriteTraceEvents.
+func (s *Span) WriteTraceEvents(w io.Writer) error {
+	return s.View().WriteTraceEvents(w)
+}

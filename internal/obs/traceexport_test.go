@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// sampleView builds a read-shaped span tree: wall-clocked root and
+// sequential stages, plus worker-summed frame-loop stages that carry only
+// self time.
+func sampleView() SpanView {
+	return SpanView{
+		Name: "read", WallMs: 20,
+		Children: []SpanView{
+			{
+				Name: "detect", WallMs: 16,
+				Attrs: map[string]any{"frames": 560, "workers": 4},
+				Children: []SpanView{
+					{Name: "synthesize", SelfMs: 40, Attrs: map[string]any{"workers": 4}},
+					{Name: "range_fft", SelfMs: 12, Attrs: map[string]any{"workers": 4}},
+					{Name: "cluster", WallMs: 2},
+					{Name: "spotlight", WallMs: 3, SelfMs: 9, Attrs: map[string]any{"workers": 4}},
+				},
+			},
+			{Name: "decode", WallMs: 1},
+		},
+	}
+}
+
+// TestTraceEventsSchema validates the exporter against the trace_event
+// format contract: strict JSON, known fields only, complete events with
+// non-negative ts/dur, metadata events naming every referenced track.
+func TestTraceEventsSchema(t *testing.T) {
+	var b bytes.Buffer
+	if err := sampleView().WriteTraceEvents(&b); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b.Bytes()))
+	dec.DisallowUnknownFields()
+	var doc TraceDoc
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("trace is not schema-clean JSON: %v\n%s", err, b.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events emitted")
+	}
+	named := map[int]bool{}
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "thread_name" {
+				t.Errorf("event %d: metadata name %q, want thread_name", i, e.Name)
+			}
+			if n, ok := e.Args["name"].(string); !ok || n == "" {
+				t.Errorf("event %d: thread_name without args.name", i)
+			}
+			named[e.TID] = true
+		case "X":
+			if e.Name == "" {
+				t.Errorf("event %d: empty name", i)
+			}
+			if e.TS < 0 || e.Dur < 0 {
+				t.Errorf("event %d (%s): negative ts %g or dur %g", i, e.Name, e.TS, e.Dur)
+			}
+			if !named[e.TID] {
+				t.Errorf("event %d (%s): track %d not named before use", i, e.Name, e.TID)
+			}
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, e.Ph)
+		}
+		if e.PID != 1 {
+			t.Errorf("event %d: pid %d, want 1", i, e.PID)
+		}
+	}
+}
+
+func TestTraceEventsLayout(t *testing.T) {
+	events := sampleView().TraceEvents()
+	find := func(name string, tid int) *TraceEvent {
+		for i := range events {
+			if events[i].Ph == "X" && events[i].Name == name && events[i].TID == tid {
+				return &events[i]
+			}
+		}
+		return nil
+	}
+	tids := map[string]int{}
+	for _, e := range events {
+		if e.Ph == "M" {
+			tids[e.Args["name"].(string)] = e.TID
+		}
+	}
+	wall := tids["wall"]
+	root := find("read", wall)
+	if root == nil || root.TS != 0 || root.Dur != 20000 {
+		t.Fatalf("root event = %+v, want ts 0 dur 20000us on the wall track", root)
+	}
+	det := find("detect", wall)
+	if det == nil || det.TS != 0 || det.Dur != 16000 {
+		t.Fatalf("detect = %+v, want ts 0 dur 16000us", det)
+	}
+	// decode stacks after detect on the wall track.
+	dec := find("decode", wall)
+	if dec == nil || dec.TS != 16000 {
+		t.Fatalf("decode = %+v, want ts 16000us (stacked after detect)", dec)
+	}
+	// synthesize: self 40ms over 4 workers -> 10ms per worker track, starting
+	// at detect's start.
+	for w := 0; w < 4; w++ {
+		tid, ok := tids[fmt4(w)]
+		if !ok {
+			t.Fatalf("no track for worker %d", w)
+		}
+		s := find("synthesize", tid)
+		if s == nil || s.TS != 0 || s.Dur != 10000 {
+			t.Fatalf("synthesize on worker %d = %+v, want ts 0 dur 10000us", w, s)
+		}
+	}
+	// cluster consumes wall time inside detect after the self-only stages
+	// (which consume none).
+	cl := find("cluster", wall)
+	if cl == nil || cl.TS != 0 || cl.Dur != 2000 {
+		t.Fatalf("cluster = %+v, want ts 0 dur 2000us", cl)
+	}
+	// spotlight has wall time too and stacks after cluster.
+	sp := find("spotlight", wall)
+	if sp == nil || sp.TS != 2000 {
+		t.Fatalf("spotlight = %+v, want ts 2000us", sp)
+	}
+	if sp.Args["self_ms"] != 9.0 {
+		t.Errorf("spotlight args = %v, want self_ms 9", sp.Args)
+	}
+}
+
+func fmt4(w int) string { return "worker " + string(rune('0'+w)) }
+
+// TestSpanWriteTraceEvents exercises the live-span entry point end to end.
+func TestSpanWriteTraceEvents(t *testing.T) {
+	root := StartSpan("read")
+	child := root.StartChild("detect")
+	child.Add(3 * time.Millisecond)
+	child.SetAttr("workers", 2)
+	child.End()
+	root.End()
+	defer root.Release()
+	var b bytes.Buffer
+	if err := root.WriteTraceEvents(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc TraceDoc
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	sawRead, sawDetect := false, false
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		switch e.Name {
+		case "read":
+			sawRead = true
+		case "detect":
+			sawDetect = true
+		}
+	}
+	if !sawRead || !sawDetect {
+		t.Errorf("trace missing spans: read=%v detect=%v\n%s", sawRead, sawDetect, b.String())
+	}
+}

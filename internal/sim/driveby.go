@@ -50,7 +50,52 @@ var (
 		"OOK bit error rate implied by the decoding SNR", obs.LogBuckets(1e-12, 1, 1))
 	mPartial = obs.Default.Counter("ros_reads_partial_total",
 		"passes cut short by cancellation or frame loss beyond budget")
+	mReadsByOutcome = obs.Default.CounterVec("ros_reads_by_outcome_total",
+		"passes by outcome and worker-count bucket", "outcome", "workers")
+	hStage = obs.Default.HistogramVec("ros_stage_seconds",
+		"per-stage time of one pass (worker-summed for the frame-loop stages)",
+		obs.LogBuckets(1e-4, 10, 2), "stage")
 )
+
+// Pass outcome labels for ros_reads_by_outcome_total and the flight
+// recorder. "error" covers passes that failed outright (not partials, which
+// keep their own label).
+const (
+	OutcomeOK          = "ok"
+	OutcomePartial     = "partial"
+	OutcomeError       = "error"
+	OutcomeNoTag       = "no_tag"
+	OutcomeUndecodable = "undecodable"
+)
+
+// classify maps a finished pass onto its outcome label.
+func classify(out *Outcome, err error) string {
+	switch {
+	case out.Partial:
+		return OutcomePartial
+	case err != nil:
+		return OutcomeError
+	case !out.Detected:
+		return OutcomeNoTag
+	case out.Bits == "":
+		return OutcomeUndecodable
+	}
+	return OutcomeOK
+}
+
+// fingerprint condenses the pass configuration into the short hex id flight
+// entries carry. Pointer fields are rendered by value (or dropped when nil)
+// and the seed is excluded — the fingerprint identifies the configuration,
+// the seed identifies the read.
+func fingerprint(cfg DriveBy, rcfg radar.Config) string {
+	c := cfg
+	c.Radar, c.Fault, c.Seed = nil, nil, 0
+	parts := []string{fmt.Sprintf("%+v", c), fmt.Sprintf("%+v", rcfg)}
+	if cfg.Fault != nil {
+		parts = append(parts, fmt.Sprintf("%+v", *cfg.Fault))
+	}
+	return obs.Fingerprint(parts...)
+}
 
 // DriveBy configures one pass.
 type DriveBy struct {
@@ -216,6 +261,9 @@ type Outcome struct {
 	// usable profiles and poses lost to faults; SamplesScrubbed counts
 	// non-finite baseband samples repaired before the range transform.
 	FramesCompleted, FramesDropped, SamplesScrubbed int
+	// FlightSeq is the pass's sequence number in the flight recorder
+	// (obs.DefaultFlight), or -1 when the sampling policy skipped it.
+	FlightSeq int64
 	// Span is the pass's trace tree: a "read" root adopting the "detect"
 	// subtree plus a "decode" stage. Callers that do not retain it may
 	// Release it to return the nodes to the span pool.
@@ -283,7 +331,7 @@ func Run(cfg DriveBy) (*Outcome, error) {
 // frame and stage boundaries: a cancelled or deadline-expired pass returns
 // promptly with a partial Outcome (Partial set, frame counters filled) and
 // an error matching both roserr.ErrReadCancelled and the context cause.
-func RunContext(ctx context.Context, cfg DriveBy) (*Outcome, error) {
+func RunContext(ctx context.Context, cfg DriveBy) (_ *Outcome, rerr error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -421,8 +469,9 @@ func RunContext(ctx context.Context, cfg DriveBy) (*Outcome, error) {
 	}
 	p.Workers = cfg.Workers
 	p.MaxFrameLoss = cfg.MaxFrameLoss
+	var inj *fault.Injector
 	if cfg.Fault != nil {
-		inj, err := fault.New(*cfg.Fault)
+		inj, err = fault.New(*cfg.Fault)
 		if err != nil {
 			return nil, err
 		}
@@ -445,7 +494,9 @@ func RunContext(ctx context.Context, cfg DriveBy) (*Outcome, error) {
 		SamplesScrubbed: res.SamplesScrubbed,
 	}
 	// Close the span tree and derive the flat Stats view on every return
-	// path below; the pass-level metrics observe the same numbers.
+	// path below; the pass-level metrics observe the same numbers and the
+	// flight recorder gets the finished pass offered for sampling.
+	out.FlightSeq = -1
 	defer func() {
 		root.End()
 		root.SetAttr("detected", out.Detected)
@@ -462,6 +513,49 @@ func RunContext(ctx context.Context, cfg DriveBy) (*Outcome, error) {
 				hSNR.Observe(out.SNRdB)
 				hBER.Observe(out.BER)
 			}
+		}
+		outcome := classify(out, rerr)
+		mReadsByOutcome.With(outcome, obs.BucketWorkers(out.Stats.Workers)).Inc()
+		for _, st := range []struct {
+			name string
+			ns   int64
+		}{
+			{detect.SpanSynthesize, out.Stats.SynthesizeNS},
+			{detect.SpanRangeFFT, out.Stats.RangeFFTNS},
+			{detect.SpanPointCloud, out.Stats.PointCloudNS},
+			{detect.SpanCluster, out.Stats.ClusterNS},
+			{detect.SpanSpotlight, out.Stats.SpotlightNS},
+			{SpanDecode, out.Stats.DecodeNS},
+		} {
+			if st.ns > 0 {
+				hStage.With(st.name).Observe(float64(st.ns) / 1e9)
+			}
+		}
+		// Flight entry: the cheap fields feed the sampling policy; the
+		// config fingerprint and span tree view are captured only for
+		// entries the policy keeps. The view deep-copies the tree, so the
+		// entry survives callers releasing Outcome.Span back to the pool.
+		entry := &obs.FlightEntry{
+			Outcome:         outcome,
+			Seed:            cfg.Seed,
+			Workers:         out.Stats.Workers,
+			SNRdB:           obs.JSONFloat(out.SNRdB),
+			BER:             obs.JSONFloat(out.BER),
+			WallMs:          float64(out.Stats.WallNS) / 1e6,
+			FramesCompleted: out.FramesCompleted,
+			FramesDropped:   out.FramesDropped,
+			SamplesScrubbed: out.SamplesScrubbed,
+			FaultKinds:      inj.Kinds(frames).Labels(),
+		}
+		if rerr != nil {
+			entry.Err = rerr.Error()
+		}
+		if seq, ok := obs.DefaultFlight.Offer(entry, func(e *obs.FlightEntry) {
+			e.ConfigFP = fingerprint(cfg, rcfg)
+			v := root.View()
+			e.Spans = &v
+		}); ok {
+			out.FlightSeq = seq
 		}
 	}()
 	if err != nil {

@@ -30,6 +30,8 @@ var (
 		"worker panics recovered on the sweep pool")
 	mCancelled = obs.Default.Counter("ros_sweep_cancelled_total",
 		"sweep batches cut short by context cancellation")
+	mBatches = obs.Default.CounterVec("ros_sweep_batches_total",
+		"sweep batches run, by outcome", "outcome")
 )
 
 // PanicError is a recovered worker panic, tagged with the point index and
@@ -213,6 +215,11 @@ feed:
 		cancelErr := fmt.Errorf("sweep: cancelled after %d/%d points: %w: %w",
 			completed, n, roserr.ErrReadCancelled, cause)
 		failed = append(failed, cancelErr)
+		mBatches.With("cancelled").Inc()
+	} else if len(failed) > 0 {
+		mBatches.With("errors").Inc()
+	} else {
+		mBatches.With("ok").Inc()
 	}
 	if len(failed) > 0 {
 		return out, done, errors.Join(failed...)

@@ -129,6 +129,10 @@ type Reading struct {
 	// Partial marks a read cut short by cancellation or excess frame loss;
 	// the accompanying error matches ErrReadCancelled or ErrFrameCorrupt.
 	Partial bool
+	// FlightSeq is the read's sequence number in the flight recorder
+	// (served at /debug/flight; dumped by rosbench -flight), or -1 when the
+	// recorder's sampling policy skipped this read.
+	FlightSeq int64
 
 	// capture holds the raw (u, RSS) samples backing the read, for
 	// SaveCapture.
@@ -221,6 +225,7 @@ func (r *Reader) ReadContext(ctx context.Context, t *Tag, opts ReadOptions) (*Re
 		RSSLossDB:    out.RSSLossDB,
 		MedianRSSdBm: out.MedianRSSdBm,
 		Partial:      out.Partial,
+		FlightSeq:    out.FlightSeq,
 		Stats: ReadStats{
 			FramesCompleted: out.FramesCompleted,
 			FramesDropped:   out.FramesDropped,
