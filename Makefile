@@ -5,20 +5,23 @@
 GO ?= go
 
 # Hot-path micro-benchmarks compared by bench-compare and smoke-tested in CI.
-BENCH_HOT := 'BenchmarkEndToEndRead$$|BenchmarkSpotlight$$|BenchmarkDBSCAN|BenchmarkAoASpectrum$$|BenchmarkSynthesize$$|BenchmarkRangeFFTBatched$$'
+# BenchmarkEndToEndRead exercises the default float32 synthesis lane;
+# BenchmarkEndToEndReadF64 is the forced-float64 A/B baseline.
+BENCH_HOT := 'BenchmarkEndToEndRead$$|BenchmarkEndToEndReadF64$$|BenchmarkSpotlight$$|BenchmarkDBSCAN|BenchmarkAoASpectrum$$|BenchmarkSynthesize$$|BenchmarkRangeFFTBatched$$'
 BENCH_COUNT ?= 5
 
 # Fuzz targets smoked by fuzz-smoke; each runs for FUZZTIME.
 FUZZ_TIME ?= 30s
 
-# Synthesis-kernel micro-benchmarks compared by bench-kernel: tone lanes,
-# batched Gaussian noise, fused window+FFT plans.
-BENCH_KERNEL := 'BenchmarkToneFill256$$|BenchmarkAccumulateRotated256$$|BenchmarkGaussNorm$$|BenchmarkGaussFill2048$$|BenchmarkGaussAddNoise1024$$|BenchmarkPlanInverse256$$'
+# Synthesis-kernel micro-benchmarks compared by bench-kernel: tone lanes
+# (both precisions), batched Gaussian noise (both precisions), fused
+# window+FFT plans, the scene-response memo, and the incremental scan.
+BENCH_KERNEL := 'BenchmarkToneFill256$$|BenchmarkToneFill32$$|BenchmarkAccumulateRotated256$$|BenchmarkAccumulateRotated32_256$$|BenchmarkGaussNorm$$|BenchmarkGaussFill2048$$|BenchmarkGaussFill32_2048$$|BenchmarkGaussAddNoise1024$$|BenchmarkGaussAddNoise32$$|BenchmarkPlanInverse256$$|BenchmarkSceneResponseMemo$$|BenchmarkSceneResponseDirect$$|BenchmarkPointCloudIncremental$$|BenchmarkPointCloudFull$$'
 
 # Observability overhead budget (percent) enforced by obs-overhead.
 OBS_OVERHEAD_PCT ?= 2
 
-.PHONY: ci fmt vet build test race test-purego bench bench-kernel bench-trend bench-baseline bench-compare bench-smoke obs-overhead chaos fuzz-smoke
+.PHONY: ci fmt vet build test race test-purego bench bench-kernel bench-trend bench-baseline bench-compare bench-smoke obs-overhead chaos fuzz-smoke profile
 
 ci: fmt vet build race test-purego
 
@@ -51,8 +54,8 @@ bench:
 # tags, so a lane-kernel change is measured against the portable baseline
 # in one command.
 bench-kernel:
-	$(GO) test -run xxx -bench $(BENCH_KERNEL) -benchmem ./internal/dsp/
-	$(GO) test -run xxx -bench $(BENCH_KERNEL) -benchmem -tags ros_purego ./internal/dsp/
+	$(GO) test -run xxx -bench $(BENCH_KERNEL) -benchmem ./internal/dsp/ ./internal/radar/ ./internal/scene/
+	$(GO) test -run xxx -bench $(BENCH_KERNEL) -benchmem -tags ros_purego ./internal/dsp/ ./internal/radar/ ./internal/scene/
 
 # Append one machine-readable record (per-experiment wall ms + canonical-read
 # span timings) to the checked-in trend file. Run before/after perf PRs.
@@ -102,6 +105,18 @@ obs-overhead:
 			printf "obs-overhead: instrumented %d ns/op vs obs-off %d ns/op (%+.2f%%, budget %s%%)\n", on, off, pct, limit; \
 			if (pct > limit) { print "obs-overhead: over budget"; exit 1 } \
 		}' obs-overhead.txt
+
+# CPU and allocation profiles of the canonical end-to-end read, written to
+# the untracked profiles/ directory for `go tool pprof`. CI uploads them as
+# artifacts next to the flight/trace dumps so a perf regression comes with
+# its own profile attached.
+profile:
+	mkdir -p profiles
+	$(GO) test -run xxx -bench 'BenchmarkEndToEndRead$$' -benchtime=20x \
+		-cpuprofile profiles/read-cpu.prof -memprofile profiles/read-mem.prof \
+		-o profiles/ros.test .
+	@echo "profile: wrote profiles/read-cpu.prof and profiles/read-mem.prof"
+	@echo "profile: inspect with '$(GO) tool pprof profiles/ros.test profiles/read-cpu.prof'"
 
 # Chaos suite on an idle machine: fault injection, cancellation promptness
 # (the 2x-deadline bound holds without -race), typed-error taxonomy, and

@@ -8,6 +8,7 @@ package ros
 // randomness and collect results in index order.
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -15,17 +16,20 @@ import (
 	"time"
 
 	"ros/internal/obs"
+	"ros/internal/radar"
+	"ros/internal/scene"
 )
 
-// readCapture runs one seeded read and returns the reading plus the saved
-// capture bytes (the raw per-frame samples backing the decode).
-func readCapture(t *testing.T, workers int) (*Reading, []byte) {
+// readCaptureOpts runs one read with the given options and returns the
+// reading plus the saved capture bytes (the raw per-frame samples backing
+// the decode).
+func readCaptureOpts(t *testing.T, r *Reader, opts ReadOptions) (*Reading, []byte) {
 	t.Helper()
 	tag, err := NewTag("1011")
 	if err != nil {
 		t.Fatal(err)
 	}
-	reading, err := NewReader().Read(tag, ReadOptions{Seed: 42, Workers: workers})
+	reading, err := r.Read(tag, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,6 +45,13 @@ func readCapture(t *testing.T, workers int) (*Reading, []byte) {
 		t.Fatal(err)
 	}
 	return reading, raw
+}
+
+// readCapture runs one seeded read and returns the reading plus the saved
+// capture bytes.
+func readCapture(t *testing.T, workers int) (*Reading, []byte) {
+	t.Helper()
+	return readCaptureOpts(t, NewReader(), ReadOptions{Seed: 42, Workers: workers})
 }
 
 func TestReadIdenticalAcrossWorkerCounts(t *testing.T) {
@@ -86,6 +97,93 @@ func TestReadStatsPopulated(t *testing.T) {
 	}
 	if s.Synthesize <= 0 || s.RangeFFT <= 0 || s.Wall <= 0 {
 		t.Errorf("stage times not recorded: %+v", s)
+	}
+}
+
+// TestReadFloat32DecodeMatchesFloat64Reference is the float32 lane's
+// end-to-end contract: at the default ADC word the fast lane changes no
+// decoded bit. The thermal noise stream is deliberately re-contracted (the
+// paired-draw float32 generator batches differently), so SNR and captures
+// differ realization-to-realization; detection and the decoded bits must
+// not.
+func TestReadFloat32DecodeMatchesFloat64Reference(t *testing.T) {
+	tag, err := NewTag("1011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := NewReader()
+	ref := NewReader(WithFloat64Reference())
+	for _, seed := range []int64{1, 9, 42} {
+		f32, err := fast.Read(tag, ReadOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d f32: %v", seed, err)
+		}
+		f64, err := ref.Read(tag, ReadOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d f64: %v", seed, err)
+		}
+		if f32.Detected != f64.Detected || f32.Bits != f64.Bits {
+			t.Errorf("seed %d: f32 lane decoded (%v, %q), f64 reference (%v, %q)",
+				seed, f32.Detected, f32.Bits, f64.Detected, f64.Bits)
+		}
+	}
+}
+
+// TestReadIdenticalAcrossMemoState pins the scene/radar memo caches'
+// value-neutrality: a cold-cache read, a warm-cache repeat, and a
+// post-ResetCaches rebuild are all byte-identical.
+func TestReadIdenticalAcrossMemoState(t *testing.T) {
+	scene.ResetCaches()
+	radar.ResetCaches()
+	r := NewReader()
+	opts := ReadOptions{Seed: 42, Workers: 2}
+	base, cold := readCaptureOpts(t, r, opts)
+	gauge := obs.Default.Gauge("ros_scene_response_entries", "")
+	if gauge.Value() == 0 {
+		t.Error("canonical read left the scene response memo empty — memo never engaged")
+	}
+	_, warm := readCaptureOpts(t, r, opts)
+	if string(warm) != string(cold) {
+		t.Error("memo-warm read differs from memo-cold read")
+	}
+	scene.ResetCaches()
+	radar.ResetCaches()
+	rebuilt, raw := readCaptureOpts(t, r, opts)
+	if string(raw) != string(cold) {
+		t.Error("post-ResetCaches read differs from the original cold read")
+	}
+	if rebuilt.Bits != base.Bits || rebuilt.SNRdB != base.SNRdB {
+		t.Errorf("post-ResetCaches outcome diverged: %q/%v vs %q/%v",
+			rebuilt.Bits, rebuilt.SNRdB, base.Bits, base.SNRdB)
+	}
+}
+
+// TestReadIdenticalWithIncrementalScanDisabled is the incremental scan's
+// exactness contract at the API surface: disabling it changes nothing in
+// the read, at any worker count, while the default path demonstrably takes
+// the restricted scan.
+func TestReadIdenticalWithIncrementalScanDisabled(t *testing.T) {
+	r := NewReader()
+	incCounter := obs.Default.Counter("ros_radar_scan_incremental_total", "")
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			opts := ReadOptions{Seed: 42, Workers: workers}
+			before := incCounter.Value()
+			inc, incCap := readCaptureOpts(t, r, opts)
+			if incCounter.Value() == before {
+				t.Error("default read never took the incremental scan path")
+			}
+			opts.DisableIncrementalScan = true
+			full, fullCap := readCaptureOpts(t, r, opts)
+			if inc.Bits != full.Bits || inc.SNRdB != full.SNRdB ||
+				inc.RSSLossDB != full.RSSLossDB || inc.MedianRSSdBm != full.MedianRSSdBm {
+				t.Errorf("incremental scan changed the outcome: %q/%v vs %q/%v",
+					inc.Bits, inc.SNRdB, full.Bits, full.SNRdB)
+			}
+			if string(incCap) != string(fullCap) {
+				t.Error("incremental scan changed the capture samples")
+			}
+		})
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"time"
 
 	"ros/internal/cluster"
@@ -376,7 +377,7 @@ func (p *Pipeline) synthesizeCleanFrame(sc *scene.Scene, pose geom.Vec3, vel geo
 	radar.ReleaseFrame(decFrame)
 	t2 := time.Now()
 
-	p.extractPoints(&fd, pose)
+	p.extractPoints(&fd, pose, false)
 	t3 := time.Now()
 	synthSp.Add(t1.Sub(t0))
 	rangeSp.Add(t2.Sub(t1))
@@ -416,16 +417,32 @@ func (p *Pipeline) synthesizeFaultyFrame(sc *scene.Scene, pose geom.Vec3, vel ge
 	radar.ReleaseFrame(detFrame)
 	radar.ReleaseFrame(decFrame)
 	t2 := time.Now()
-	p.extractPoints(&fd, pose)
+	p.extractPoints(&fd, pose, true)
 	rangeSp.Add(t2.Sub(t1))
 	cloudSp.Add(time.Since(t2))
 	return fd, nil
 }
 
+// scanStates pools incremental-scan state for the per-frame point-cloud
+// extraction. Workers interleave frames arbitrarily, so a pooled state's
+// hints describe whichever frame its last holder processed — which is
+// exactly as much as the incremental scan needs: the hint set is a
+// performance prior, never an output input (radar.PointCloudScan falls back
+// to a full scan whenever the hints fail its coverage check), so any
+// provenance keeps the run byte-identical at every worker count.
+var scanStates = sync.Pool{New: func() any { return new(radar.ScanState) }}
+
 // extractPoints converts the frame's detection-mode point cloud into world
-// coordinates.
-func (p *Pipeline) extractPoints(fd *frameData, pose geom.Vec3) {
-	for _, d := range p.Radar.PointCloudFromProfile(fd.det, p.Detect) {
+// coordinates. tainted marks frames that passed through the fault layer's
+// sample corruption: their scan starts from a Reset state, so no
+// fault-adjacent frame ever rides on hints and the hint chain restarts from
+// the scrubbed profile's own full scan.
+func (p *Pipeline) extractPoints(fd *frameData, pose geom.Vec3, tainted bool) {
+	st := scanStates.Get().(*radar.ScanState)
+	if tainted {
+		st.Reset()
+	}
+	for _, d := range p.Radar.PointCloudScan(fd.det, p.Detect, st) {
 		// Radar at y > 0 looks toward -y; a detection at (range, az)
 		// sits at radar + range*(sin az, -cos az).
 		world := pose.XY().Add(geom.Vec2{
@@ -434,6 +451,7 @@ func (p *Pipeline) extractPoints(fd *frameData, pose geom.Vec3) {
 		})
 		fd.points = append(fd.points, cluster.Point{Pos: world, Weight: d.Power})
 	}
+	scanStates.Put(st)
 }
 
 // classifyObject spotlights one cluster in both polarization modes across

@@ -1,0 +1,271 @@
+package dsp
+
+import "math"
+
+// Float32-precision lane of the batched Gaussian generator. The f64 path
+// spends one SplitMix64 step (counter add + mix64) per normal draw; at
+// float32 precision a 24-bit signed fixed-point uniform is enough for the
+// ziggurat's fast path, so one 64-bit mix funds TWO draws — the low and high
+// halves of the word — and the per-draw integer work halves. The values are
+// quantized to the 24-bit lattice float64(j)*zigW32[i] (j a signed 24-bit
+// integer), i.e. exactly the resolution a float32 mantissa carries at the
+// layer scale; wedge and tail draws fall through to the full-precision f64
+// slow path, so the distribution's tails are not clipped. The frame
+// synthesizer selects this lane when the radar's ADC word is short enough
+// that the quantizer step dwarfs the lattice pitch (see radar.SynthPlan).
+//
+// Stream contract: the f32 methods consume the same SplitMix64 counter the
+// f64 methods do, but at half the rate — one step per PAIR of draws (plus
+// the occasional extra step from wedge/tail rejections). FillNorm32 over an
+// even-length lane and AddNoise32 over half as many complex samples consume
+// identical stream positions and produce the same draw sequence; the f64 and
+// f32 sequences are unrelated (a deliberate noise-contract change, exactly
+// like the PR-6 stdlib->ziggurat swap — see docs/PERF.md).
+
+// zigK32[i] is the 24-bit fast-accept threshold, floor(zigT[i] * 2^23), and
+// zigW32[i] the layer width scaled to the 24-bit lattice, zigX[i] * 2^-23.
+// Borderline draws excluded by the floor fall through to the exact
+// wedge/tail test, as in the 52-bit tables.
+var (
+	zigK32 [zigLayers]uint32
+	zigW32 [zigLayers]float64
+)
+
+func init() {
+	for i := range zigK32 {
+		zigK32[i] = uint32(zigT[i] * 0x1p23)
+		zigW32[i] = zigX[i] * 0x1p-23
+	}
+}
+
+// pairNorm32 returns the next two f32-lattice normal draws — the low and
+// high halves of one SplitMix64 output, resolved in that order.
+func (g *Gauss) pairNorm32() (lo, hi float64) {
+	u := g.next()
+	return g.resolve32(uint32(u)), g.resolve32(uint32(u >> 32))
+}
+
+// resolve32 turns one 32-bit half into a draw: layer from the low 8 bits,
+// signed 24-bit fixed-point uniform from the rest (the same bit overlap the
+// 64-bit path uses). Rejections redraw from the low half of a fresh stream
+// step.
+func (g *Gauss) resolve32(x uint32) float64 {
+	for {
+		i := x & (zigLayers - 1)
+		j := int32(x) >> 8
+		neg := j >> 31
+		if uint32((j^neg)-neg) < zigK32[i] {
+			return float64(j) * zigW32[i]
+		}
+		if v, ok := g.normSlow32(x); ok {
+			return v
+		}
+		x = uint32(g.next())
+	}
+}
+
+// normSlow32 handles the wedge and tail of the layer selected by x; ok is
+// false when the wedge rejects and the caller must redraw. The wedge and
+// tail tests run at full f64 precision on fresh full-width uniforms — only
+// the fast path is lattice-quantized, so the distribution's tails are exact.
+func (g *Gauss) normSlow32(x uint32) (float64, bool) {
+	i := x & (zigLayers - 1)
+	s := float64(int32(x)>>8) * 0x1p-23
+	v := s * zigX[i]
+	if i == 0 {
+		// Tail beyond R: Marsaglia's exponential wrap.
+		for {
+			ex := -math.Log(g.uniform()) / zigR
+			ey := -math.Log(g.uniform())
+			if ey+ey >= ex*ex {
+				if s < 0 {
+					return -(zigR + ex), true
+				}
+				return zigR + ex, true
+			}
+		}
+	}
+	// Wedge: identical bracketed squeeze to the f64 path (see normSlow).
+	pf := zigF[i] + g.uniform()*(zigF[i-1]-zigF[i])
+	d := 0.5*v*v - zigE[i]
+	lo := 1 - d*(1-d*(0.5-d*(1.0/6)))
+	top := zigF[i-1]
+	switch {
+	case pf < top*lo:
+		return v, true
+	case pf > top*(lo+d*d*d*(1.0/6)):
+		return 0, false
+	case pf < math.Exp(-0.5*v*v):
+		return v, true
+	}
+	return 0, false
+}
+
+// FillNorm32 fills dst with f32-lattice standard-normal draws, consuming one
+// stream step per pair (an odd tail discards the final step's high half).
+// The hot loop resolves eight draws from four future counter mixes per
+// iteration with one combined sign-bit accept branch, mirroring FillNorm;
+// any rejection replays the group through pairNorm32 in stream order, which
+// reproduces the accepted draws bit-identically and resolves the rejected
+// ones through the exact wedge/tail path.
+func (g *Gauss) FillNorm32(dst []float32) {
+	s := g.state
+	n := 0
+	const lm = zigLayers - 1
+	for n+8 <= len(dst) {
+		s1 := s + gaussGamma
+		s2 := s1 + gaussGamma
+		s3 := s2 + gaussGamma
+		s4 := s3 + gaussGamma
+		u0 := mix64(s1)
+		u1 := mix64(s2)
+		u2 := mix64(s3)
+		u3 := mix64(s4)
+		x0, x1 := uint32(u0), uint32(u0>>32)
+		x2, x3 := uint32(u1), uint32(u1>>32)
+		x4, x5 := uint32(u2), uint32(u2>>32)
+		x6, x7 := uint32(u3), uint32(u3>>32)
+		j0 := int32(x0) >> 8
+		j1 := int32(x1) >> 8
+		j2 := int32(x2) >> 8
+		j3 := int32(x3) >> 8
+		j4 := int32(x4) >> 8
+		j5 := int32(x5) >> 8
+		j6 := int32(x6) >> 8
+		j7 := int32(x7) >> 8
+		a0, a1, a2, a3 := j0>>31, j1>>31, j2>>31, j3>>31
+		a4, a5, a6, a7 := j4>>31, j5>>31, j6>>31, j7>>31
+		m0 := uint32((j0 ^ a0) - a0)
+		m1 := uint32((j1 ^ a1) - a1)
+		m2 := uint32((j2 ^ a2) - a2)
+		m3 := uint32((j3 ^ a3) - a3)
+		m4 := uint32((j4 ^ a4) - a4)
+		m5 := uint32((j5 ^ a5) - a5)
+		m6 := uint32((j6 ^ a6) - a6)
+		m7 := uint32((j7 ^ a7) - a7)
+		d := dst[n : n+8 : len(dst)]
+		acc := (m0 - zigK32[x0&lm]) & (m1 - zigK32[x1&lm]) & (m2 - zigK32[x2&lm]) & (m3 - zigK32[x3&lm]) &
+			(m4 - zigK32[x4&lm]) & (m5 - zigK32[x5&lm]) & (m6 - zigK32[x6&lm]) & (m7 - zigK32[x7&lm])
+		if int32(acc) < 0 {
+			d[0] = float32(float64(j0) * zigW32[x0&lm])
+			d[1] = float32(float64(j1) * zigW32[x1&lm])
+			d[2] = float32(float64(j2) * zigW32[x2&lm])
+			d[3] = float32(float64(j3) * zigW32[x3&lm])
+			d[4] = float32(float64(j4) * zigW32[x4&lm])
+			d[5] = float32(float64(j5) * zigW32[x5&lm])
+			d[6] = float32(float64(j6) * zigW32[x6&lm])
+			d[7] = float32(float64(j7) * zigW32[x7&lm])
+			s = s4
+			n += 8
+			continue
+		}
+		g.state = s
+		for k := 0; k < 8; k += 2 {
+			lo, hi := g.pairNorm32()
+			d[k], d[k+1] = float32(lo), float32(hi)
+		}
+		s = g.state
+		n += 8
+	}
+	g.state = s
+	for ; n+2 <= len(dst); n += 2 {
+		lo, hi := g.pairNorm32()
+		dst[n], dst[n+1] = float32(lo), float32(hi)
+	}
+	if n < len(dst) {
+		lo, _ := g.pairNorm32()
+		dst[n] = float32(lo)
+	}
+}
+
+// AddNoise32 adds sigma-scaled f32-lattice normal noise to every sample of
+// dst: sample t consumes the two halves of stream step t, real from the low
+// half — the positions FillNorm32 over a 2*len(dst) lane would consume. The
+// sigma scale folds into the per-call width table as in AddNoise, and the
+// group structure is four complex samples (four counter mixes, eight
+// halves) per combined accept branch — half the mixes of the f64 pass.
+func (g *Gauss) AddNoise32(dst []complex128, sigma float64) {
+	s := g.state
+	n := 0
+	const lm = zigLayers - 1
+	var ws [zigLayers]float64
+	for i, w := range zigW32 {
+		ws[i] = w * sigma
+	}
+	for n+4 <= len(dst) {
+		s1 := s + gaussGamma
+		s2 := s1 + gaussGamma
+		s3 := s2 + gaussGamma
+		s4 := s3 + gaussGamma
+		u0 := mix64(s1)
+		u1 := mix64(s2)
+		u2 := mix64(s3)
+		u3 := mix64(s4)
+		x0, x1 := uint32(u0), uint32(u0>>32)
+		x2, x3 := uint32(u1), uint32(u1>>32)
+		x4, x5 := uint32(u2), uint32(u2>>32)
+		x6, x7 := uint32(u3), uint32(u3>>32)
+		j0 := int32(x0) >> 8
+		j1 := int32(x1) >> 8
+		j2 := int32(x2) >> 8
+		j3 := int32(x3) >> 8
+		j4 := int32(x4) >> 8
+		j5 := int32(x5) >> 8
+		j6 := int32(x6) >> 8
+		j7 := int32(x7) >> 8
+		a0, a1, a2, a3 := j0>>31, j1>>31, j2>>31, j3>>31
+		a4, a5, a6, a7 := j4>>31, j5>>31, j6>>31, j7>>31
+		m0 := uint32((j0 ^ a0) - a0)
+		m1 := uint32((j1 ^ a1) - a1)
+		m2 := uint32((j2 ^ a2) - a2)
+		m3 := uint32((j3 ^ a3) - a3)
+		m4 := uint32((j4 ^ a4) - a4)
+		m5 := uint32((j5 ^ a5) - a5)
+		m6 := uint32((j6 ^ a6) - a6)
+		m7 := uint32((j7 ^ a7) - a7)
+		d := dst[n : n+4 : len(dst)]
+		acc := (m0 - zigK32[x0&lm]) & (m1 - zigK32[x1&lm]) & (m2 - zigK32[x2&lm]) & (m3 - zigK32[x3&lm]) &
+			(m4 - zigK32[x4&lm]) & (m5 - zigK32[x5&lm]) & (m6 - zigK32[x6&lm]) & (m7 - zigK32[x7&lm])
+		if int32(acc) < 0 {
+			d[0] += complex(float64(j0)*ws[x0&lm], float64(j1)*ws[x1&lm])
+			d[1] += complex(float64(j2)*ws[x2&lm], float64(j3)*ws[x3&lm])
+			d[2] += complex(float64(j4)*ws[x4&lm], float64(j5)*ws[x5&lm])
+			d[3] += complex(float64(j6)*ws[x6&lm], float64(j7)*ws[x7&lm])
+			s = s4
+			n += 4
+			continue
+		}
+		// A rejection anywhere in the group: replay it through pairNorm32 in
+		// stream order (accepted draws reproduce bit-identically up to the
+		// sigma-fold rounding, within 1 ulp as in AddNoise — and
+		// deterministically, since the path taken is a pure function of the
+		// stream).
+		g.state = s
+		var v [8]float64
+		for k := 0; k < 8; k += 2 {
+			v[k], v[k+1] = g.pairNorm32()
+		}
+		s = g.state
+		d[0] += complex(v[0]*sigma, v[1]*sigma)
+		d[1] += complex(v[2]*sigma, v[3]*sigma)
+		d[2] += complex(v[4]*sigma, v[5]*sigma)
+		d[3] += complex(v[6]*sigma, v[7]*sigma)
+		n += 4
+	}
+	g.state = s
+	for ; n < len(dst); n++ {
+		lo, hi := g.pairNorm32()
+		dst[n] += complex(lo*sigma, hi*sigma)
+	}
+}
+
+// Norms32 returns an internal scratch lane of n f32-lattice normal draws,
+// valid until the next Norms32 call; it grows amortized like Norms.
+func (g *Gauss) Norms32(n int) []float32 {
+	if cap(g.scratch32) < n {
+		g.scratch32 = make([]float32, n)
+	}
+	s := g.scratch32[:n]
+	g.FillNorm32(s)
+	return s
+}

@@ -1,0 +1,174 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNorm32Moments checks the first four moments of the f32-lattice
+// sampler. The 24-bit quantization perturbs each moment by far less than
+// the Monte Carlo tolerance, so the same bounds as the f64 sampler apply.
+func TestNorm32Moments(t *testing.T) {
+	g := NewGauss(42)
+	const n = 4_000_000
+	dst := make([]float32, n)
+	g.FillNorm32(dst)
+	var m1, m2, m3, m4 float64
+	for _, v := range dst {
+		x := float64(v)
+		m1 += x
+		m2 += x * x
+		m3 += x * x * x
+		m4 += x * x * x * x
+	}
+	m1 /= n
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	if math.Abs(m1) > 0.005 || math.Abs(m2-1) > 0.01 || math.Abs(m3) > 0.02 || math.Abs(m4-3) > 0.05 {
+		t.Fatalf("moments off: mean=%g var=%g skew=%g kurt=%g", m1, m2, m3, m4)
+	}
+}
+
+// TestZigguratFastPath32 pins the 24-bit layer-table geometry: the halved
+// thresholds must keep the same ~1.5% rejection rate as the 52-bit tables —
+// a mis-scaled zigK32 (wrong exponent, truncation off by a bit) multiplies
+// this rate long before it distorts the distribution.
+func TestZigguratFastPath32(t *testing.T) {
+	g := NewGauss(1)
+	slow := 0
+	const steps = 500_000
+	for k := 0; k < steps; k++ {
+		u := g.next()
+		for _, x := range [2]uint32{uint32(u), uint32(u >> 32)} {
+			i := x & (zigLayers - 1)
+			j := int32(x) >> 8
+			neg := j >> 31
+			if uint32((j^neg)-neg) >= zigK32[i] {
+				slow++
+			}
+		}
+	}
+	if rate := float64(slow) / (2 * steps); rate > 0.03 {
+		t.Fatalf("slow-path rate = %.4f, want < 0.03", rate)
+	}
+}
+
+// TestFillNorm32MatchesPairSequence pins the batched f32 generator to the
+// scalar pair resolver: FillNorm32 must produce bit-identical values to
+// repeated pairNorm32 calls and leave the stream at the same position, for
+// lengths around and across the 8-wide unroll boundary (including an odd
+// tail, which consumes a full step and discards the high half).
+func TestFillNorm32MatchesPairSequence(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 15, 16, 17, 2048} {
+		a := NewGauss(99)
+		b := NewGauss(99)
+		dst := make([]float32, n)
+		a.FillNorm32(dst)
+		for i := 0; i < n; i += 2 {
+			lo, hi := b.pairNorm32()
+			if got := dst[i]; got != float32(lo) {
+				t.Fatalf("n=%d idx %d: FillNorm32 %v != pair lo %v", n, i, got, float32(lo))
+			}
+			if i+1 < n {
+				if got := dst[i+1]; got != float32(hi) {
+					t.Fatalf("n=%d idx %d: FillNorm32 %v != pair hi %v", n, i+1, got, float32(hi))
+				}
+			}
+		}
+		if a.state != b.state {
+			t.Fatalf("n=%d: state diverged", n)
+		}
+	}
+}
+
+// TestAddNoise32MatchesFillNorm32 pins the fused f32 noise kernel's stream
+// contract: AddNoise32 over n complex samples consumes the same stream
+// positions as FillNorm32 over a 2n lane, real from the pair's low half,
+// each component within 1 ulp of draw*sigma (the fast path folds sigma into
+// the width table, reassociating one rounding).
+func TestAddNoise32MatchesFillNorm32(t *testing.T) {
+	const sigma = 0.37
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 256} {
+		a := NewGauss(7)
+		b := NewGauss(7)
+		dst := make([]complex128, n)
+		for i := range dst {
+			dst[i] = complex(float64(i), -float64(i))
+		}
+		a.AddNoise32(dst, sigma)
+		for i := range dst {
+			lo, hi := b.pairNorm32()
+			wantRe := float64(i) + lo*sigma
+			wantIm := -float64(i) + hi*sigma
+			if re := real(dst[i]); re != wantRe && !withinOneUlp(re, wantRe) {
+				t.Fatalf("n=%d idx %d re: got %v want %v", n, i, re, wantRe)
+			}
+			if im := imag(dst[i]); im != wantIm && !withinOneUlp(im, wantIm) {
+				t.Fatalf("n=%d idx %d im: got %v want %v", n, i, im, wantIm)
+			}
+		}
+		if a.state != b.state {
+			t.Fatalf("n=%d: AddNoise32 left the stream at a different position", n)
+		}
+	}
+}
+
+// TestAddNoise32Deterministic checks byte-for-byte reproducibility across
+// identical seeds — the worker-count-independence property the detection
+// pipeline's per-frame sub-streams rely on, now for the f32 lane.
+func TestAddNoise32Deterministic(t *testing.T) {
+	mk := func() []complex128 {
+		g := NewGauss(123)
+		dst := make([]complex128, 300)
+		g.AddNoise32(dst, 1.5)
+		return dst
+	}
+	x, y := mk(), mk()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("idx %d: %v != %v across identical seeds", i, x[i], y[i])
+		}
+	}
+}
+
+// TestNorms32ReusesScratch checks the scratch lane grows once and then
+// reuses its backing array, and that its draws match FillNorm32.
+func TestNorms32ReusesScratch(t *testing.T) {
+	g := NewGauss(5)
+	first := g.Norms32(64)
+	second := g.Norms32(32)
+	if &first[0] != &second[0] {
+		t.Fatalf("Norms32 reallocated a scratch lane that already fit")
+	}
+	w := NewGauss(5)
+	want := make([]float32, 64)
+	w.FillNorm32(want)
+	g.Reseed(5)
+	got := g.Norms32(64)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("idx %d: Norms32 %v != FillNorm32 %v", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkGaussFill32_2048(b *testing.B) {
+	g := NewGauss(1)
+	dst := make([]float32, 2048)
+	b.SetBytes(2048 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FillNorm32(dst)
+	}
+}
+
+func BenchmarkGaussAddNoise32(b *testing.B) {
+	g := NewGauss(1)
+	dst := make([]complex128, 1024)
+	b.SetBytes(1024 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddNoise32(dst, 0.5)
+	}
+}

@@ -31,6 +31,27 @@ func ToneFill(re, im []float64, curRe, curIm, stepRe, stepIm float64) {
 	}
 }
 
+// ToneFill32 is ToneFill with float32 lane stores: the recurrence stays in
+// float64 (the drift bound depends on it), only the stores narrow.
+func ToneFill32(re, im []float32, curRe, curIm, stepRe, stepIm float64) {
+	n := len(re)
+	im = im[:n]
+	amp2 := curRe*curRe + curIm*curIm
+	cr, ci := curRe, curIm
+	renorm := toneRenormInterval
+	for t := 0; t < n; t++ {
+		re[t], im[t] = float32(cr), float32(ci)
+		cr, ci = cr*stepRe-ci*stepIm, cr*stepIm+ci*stepRe
+		if t >= renorm && amp2 > 0 {
+			renorm += toneRenormInterval
+			if m := cr*cr + ci*ci; m > 0 {
+				s := math.Sqrt(amp2 / m)
+				cr, ci = cr*s, ci*s
+			}
+		}
+	}
+}
+
 // AccumulateTone adds the split-lane tone to dst: dst[t] += re[t] + i*im[t].
 func AccumulateTone(dst []complex128, re, im []float64) {
 	re = re[:len(dst)]

@@ -1,0 +1,137 @@
+package radar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// halfCell14Rel is half a quantizer cell at the float32 gate boundary
+// (ADCBits = 14), relative to the AGC peak: the quantizer step is
+// peak*1.1/2^13, so a half cell is peak*1.1/2^14. The float32 lane is
+// admissible exactly because its tone divergence stays strictly below this
+// for every ADC word the gate accepts (shorter words only widen the cell).
+const halfCell14Rel = 1.1 / (1 << 14)
+
+// TestFloat32ToneDivergenceBelowHalfCell measures the noiseless synthesis
+// divergence between the float32 lane and the float64 reference on random
+// scenes and asserts it strictly below half a 14-bit quantizer cell — the
+// error-budget argument that makes the f32 lane's decoded bits identical.
+// (Noise is excluded by design: the paired-draw f32 generator is a
+// different, deliberately re-contracted realization, not a rounding of the
+// f64 one; decode-bit identity under noise is asserted end-to-end in the
+// top-level determinism suite.)
+func TestFloat32ToneDivergenceBelowHalfCell(t *testing.T) {
+	c := TI1443() // ADCBits 0: the f32 lane is on, nothing quantizes the diff away
+	if c.ForceFloat64 {
+		t.Fatal("test premise broken: TI1443 forces float64")
+	}
+	ref := c
+	ref.ForceFloat64 = true
+	plan32 := c.NewSynthPlan()
+	plan64 := ref.NewSynthPlan()
+	worst := 0.0
+	for trial := 0; trial < 16; trial++ {
+		scene := randomScene(rand.New(rand.NewSource(int64(100*trial+17))), c)
+		f32 := plan32.Synthesize(scene, nil)
+		f64 := plan64.Synthesize(scene, nil)
+		scale := 0.0
+		for _, v := range f64.Data {
+			if a := math.Hypot(real(v), imag(v)); a > scale {
+				scale = a
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		for i, v := range f64.Data {
+			d := f32.Data[i] - v
+			if e := math.Hypot(real(d), imag(d)) / scale; e > worst {
+				worst = e
+			}
+		}
+		ReleaseFrame(f32)
+		ReleaseFrame(f64)
+	}
+	if worst >= halfCell14Rel {
+		t.Fatalf("f32 tone divergence %.3g >= half a 14-bit cell %.3g", worst, halfCell14Rel)
+	}
+	// The margin should be decades, not ulps: f32 store rounding is ~6e-8
+	// relative. A collapse of the margin means the recurrence itself fell to
+	// float32 somewhere.
+	if worst > halfCell14Rel/100 {
+		t.Errorf("f32 tone divergence %.3g is within 100x of the budget %.3g — margin collapsed", worst, halfCell14Rel)
+	}
+}
+
+// TestFloat32QuantizedWithinOneCell runs the gate-boundary config
+// (ADCBits 14) noiselessly through both lanes and asserts every quantized
+// sample lands in the same or an adjacent cell: with tone divergence far
+// below half a cell, only samples within ulps of a cell boundary may flip,
+// and never by more than one step (the AGC peaks of the two lanes differ by
+// the same sub-half-cell bound, shifting every boundary by ulps).
+func TestFloat32QuantizedWithinOneCell(t *testing.T) {
+	c := TI1443()
+	c.ADCBits = 14
+	ref := c
+	ref.ForceFloat64 = true
+	stepRel := 1.1 / float64(int(1)<<(c.ADCBits-1))
+	plan32 := c.NewSynthPlan()
+	plan64 := ref.NewSynthPlan()
+	for trial := 0; trial < 8; trial++ {
+		scene := randomScene(rand.New(rand.NewSource(int64(41*trial+5))), c)
+		f32 := plan32.Synthesize(scene, nil)
+		f64 := plan64.Synthesize(scene, nil)
+		scale := 0.0
+		for _, v := range f64.Data {
+			if a := math.Abs(real(v)); a > scale {
+				scale = a
+			}
+			if a := math.Abs(imag(v)); a > scale {
+				scale = a
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		budget := stepRel * (1 + 1e-9) * scale
+		for i, v := range f64.Data {
+			if d := math.Abs(real(f32.Data[i]) - real(v)); d > budget {
+				t.Fatalf("trial %d sample %d re: |%g| exceeds one cell %g", trial, i, d, budget)
+			}
+			if d := math.Abs(imag(f32.Data[i]) - imag(v)); d > budget {
+				t.Fatalf("trial %d sample %d im: |%g| exceeds one cell %g", trial, i, d, budget)
+			}
+		}
+		ReleaseFrame(f32)
+		ReleaseFrame(f64)
+	}
+}
+
+// TestFloat32GateSelection pins the lane-selection rule: short ADC words
+// and the ideal converter take the f32 lane, long words and ForceFloat64
+// keep full precision.
+func TestFloat32GateSelection(t *testing.T) {
+	cases := []struct {
+		bits  int
+		force bool
+		want  bool
+	}{
+		{0, false, true},
+		{2, false, true},
+		{12, false, true},
+		{14, false, true},
+		{15, false, false},
+		{16, false, false},
+		{0, true, false},
+		{12, true, false},
+	}
+	for _, tc := range cases {
+		c := TI1443()
+		c.ADCBits = tc.bits
+		c.ForceFloat64 = tc.force
+		if got := c.NewSynthPlan().useF32; got != tc.want {
+			t.Errorf("ADCBits=%d ForceFloat64=%v: useF32=%v, want %v", tc.bits, tc.force, got, tc.want)
+		}
+	}
+}

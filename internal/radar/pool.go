@@ -17,6 +17,9 @@ type chanBuf struct {
 	// laneRe/laneIm are the structure-of-arrays scratch lanes of the tone
 	// kernel (dsp.ToneFill), sized lazily to the sample count.
 	laneRe, laneIm []float64
+	// laneRe32/laneIm32 are the float32 twins (dsp.ToneFill32), used when
+	// the synthesis plan selects the reduced-precision kernel lane.
+	laneRe32, laneIm32 []float32
 }
 
 // reshape reslices the buffer to [numRx][n], rebuilding the channel views
@@ -45,6 +48,15 @@ func (b *chanBuf) lanes(n int) (re, im []float64) {
 		b.laneIm = make([]float64, n)
 	}
 	return b.laneRe[:n], b.laneIm[:n]
+}
+
+// lanes32 is lanes for the float32 tone scratch.
+func (b *chanBuf) lanes32(n int) (re, im []float32) {
+	if cap(b.laneRe32) < n || cap(b.laneIm32) < n {
+		b.laneRe32 = make([]float32, n)
+		b.laneIm32 = make([]float32, n)
+	}
+	return b.laneRe32[:n], b.laneIm32[:n]
 }
 
 // chanPool recycles chanBufs. A drive-by synthesizes and transforms two

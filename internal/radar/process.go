@@ -175,6 +175,10 @@ type DetectOptions struct {
 	UseCFAR bool
 	// CFAR tunes the CFAR detector when UseCFAR is set.
 	CFAR CFAROptions
+	// DisableIncremental makes PointCloudScan ignore any supplied
+	// ScanState and walk every bin each frame — the reference behavior the
+	// incremental scan is pinned against.
+	DisableIncremental bool
 }
 
 // PointCloud extracts detections from a frame: per range bin, non-coherent
@@ -185,8 +189,22 @@ func (c Config) PointCloud(f Frame, opts DetectOptions) []Detection {
 }
 
 // PointCloudFromProfile is PointCloud for an already-computed range profile
-// (callers that also spotlight objects reuse the profile).
+// (callers that also spotlight objects reuse the profile). It always runs a
+// full scan; streaming callers thread a ScanState through PointCloudScan
+// instead.
 func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Detection {
+	return c.PointCloudScan(rp, opts, nil)
+}
+
+// PointCloudScan is PointCloudFromProfile with frame-to-frame scan state:
+// st seeds the noise-floor median with the previous frame's estimate and —
+// when a coverage check proves it exact — restricts the candidate loop to
+// the previous frame's above-threshold bins plus a guard band (see
+// scan.go). The detections are byte-identical to the full scan for every
+// state; st only changes how much work the scan does. A nil st (or
+// opts.DisableIncremental, or opts.UseCFAR, whose local thresholds need
+// every bin) always walks the full profile.
+func (c Config) PointCloudScan(rp RangeProfile, opts DetectOptions, st *ScanState) []Detection {
 	if opts.ThresholdDB == 0 {
 		opts.ThresholdDB = 12
 	}
@@ -195,6 +213,9 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 	}
 	if opts.MinRange == 0 {
 		opts.MinRange = 4 * c.RangeBinSize()
+	}
+	if opts.DisableIncremental {
+		st = nil
 	}
 	n := len(rp.Bins[0])
 
@@ -220,8 +241,16 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 			power[i] += real(v)*real(v) + imag(v)*imag(v)
 		}
 	}
+	// The median is rank-exact either way; a valid state seeds the
+	// selection with the previous frame's floor, which partitions most of
+	// the scratch away in one pass.
 	copy(scratch, power)
-	noise := dsp.MedianInPlace(scratch)
+	var noise float64
+	if st != nil && st.valid {
+		noise = dsp.PercentileInPlaceSeeded(scratch, 50, st.noise)
+	} else {
+		noise = dsp.MedianInPlace(scratch)
+	}
 	if noise <= 0 {
 		noise = 1e-30
 	}
@@ -238,6 +267,23 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 		}
 	}
 
+	// Hint-restriction coverage check: the scan may skip unhinted bins only
+	// when none of them clears this frame's threshold — then every possible
+	// candidate (above threshold AND a local maximum) is hinted, and the
+	// restricted loop provably emits the full scan's detections. A target
+	// popping in outside the guard band, or a floor shift, fails the check
+	// and takes the full loop.
+	incremental := false
+	if st != nil && !opts.UseCFAR && st.valid && len(st.active) == n && st.frames < scanRefreshInterval {
+		maxOut := 0.0
+		for i, p := range power {
+			if !st.active[i] && p > maxOut {
+				maxOut = p
+			}
+		}
+		incremental = maxOut < thresh
+	}
+
 	angles := c.ScanAngles()
 	// The median scratch is free again; it holds the AoA spectrum when the
 	// scan grid fits (it does for every config with Samples >= 121 bins).
@@ -248,17 +294,17 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 		spec = make([]float64, len(angles))
 	}
 	var out []Detection
-	for i := 1; i < n-1; i++ {
+	scanBin := func(i int) {
 		r := float64(i) * rp.BinSize
 		if r < opts.MinRange {
-			continue
+			return
 		}
 		if opts.UseCFAR {
 			if !cfarHits[i] {
-				continue
+				return
 			}
 		} else if power[i] < thresh || power[i] < power[i-1] || power[i] <= power[i+1] {
-			continue
+			return
 		}
 		c.AoASpectrumInto(spec, rp, i, angles)
 		// Gate at 20 percent of the strongest response so the 4-element
@@ -272,6 +318,26 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 		for _, p := range peaks {
 			az := angles[0] + p.Pos*(angles[1]-angles[0])
 			out = append(out, Detection{Range: r, Azimuth: az, Power: p.Value})
+		}
+	}
+	if incremental {
+		mScanIncremental.Inc()
+		for _, i := range st.hints {
+			scanBin(i)
+		}
+	} else {
+		mScanFull.Inc()
+		for i := 1; i < n-1; i++ {
+			scanBin(i)
+		}
+	}
+	if st != nil {
+		if opts.UseCFAR {
+			// CFAR thresholds are local; the global-floor hint machinery
+			// does not describe them. Leave the state cold.
+			st.Reset()
+		} else {
+			st.update(n, power, thresh, noise, incremental)
 		}
 	}
 	return out

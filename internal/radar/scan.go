@@ -1,0 +1,106 @@
+package radar
+
+import "ros/internal/obs"
+
+// The incremental point-cloud scan: frame-to-frame, the set of range bins
+// that can produce detections barely moves (a drive-by shifts the tag by a
+// fraction of a bin per frame), so a frame can seed its candidate loop from
+// the previous frame's above-threshold bins plus a guard band. The
+// restriction is provably byte-identical to the full scan: the frame first
+// verifies that no bin OUTSIDE the hinted set clears this frame's threshold
+// (one cheap max pass), and any frame where that fails — pop-in targets,
+// fault transients, a moved noise floor — takes the full loop instead. A
+// periodic refresh bounds how long the process trusts its own hints, and
+// ScanState.Reset restores cold-start behavior after dropped or corrupt
+// frames.
+
+// scanRefreshInterval is the maximum number of consecutive hint-restricted
+// frames before a scheduled full scan; at the canonical 1 kHz frame rate
+// this re-walks the whole profile every 32 ms.
+const scanRefreshInterval = 32
+
+// scanGuardBins pads each above-threshold bin on both sides when building
+// the next frame's hint set, covering sub-bin target migration and
+// local-maximum shifts between neighbors. The guard affects only how often
+// the coverage check falls back to a full scan, never the output.
+const scanGuardBins = 2
+
+var (
+	mScanFull = obs.Default.Counter("ros_radar_scan_full_total",
+		"Point-cloud scans that walked every range bin (cold start, refresh, fallback, or incremental disabled).")
+	mScanIncremental = obs.Default.Counter("ros_radar_scan_incremental_total",
+		"Point-cloud scans restricted to the previous frame's hinted bins.")
+)
+
+// ScanState carries the frame-to-frame detection context of one radar
+// stream: the previous frame's noise-floor estimate (seeding the median
+// selection) and its above-threshold bins with guard band (seeding the
+// candidate loop). The zero value is a valid cold state. Not safe for
+// concurrent use; pipelines keep one per worker.
+type ScanState struct {
+	// noise is the previous frame's noise-floor estimate, used as the
+	// median selection's pivot hint.
+	noise float64
+	// active marks the hinted bins; hints lists them in ascending order.
+	active []bool
+	hints  []int
+	// frames counts consecutive hint-restricted scans since the last full
+	// one, driving the refresh interval.
+	frames int
+	// valid reports whether the state describes the immediately preceding
+	// frame; false forces a full scan (cold start, after Reset).
+	valid bool
+}
+
+// Reset returns the state to cold start: the next scan walks every bin.
+// Pipelines call it after any dropped or corrupt frame, where the "previous
+// frame" the hints describe never reached detection.
+func (st *ScanState) Reset() {
+	st.valid = false
+	st.frames = 0
+	st.noise = 0
+	for _, i := range st.hints {
+		st.active[i] = false
+	}
+	st.hints = st.hints[:0]
+}
+
+// update rebuilds the hint set from this frame's power profile: every bin
+// at or above the detection threshold, padded by the guard band. The
+// resulting hints are ascending (ranges are emitted left to right and only
+// extend rightward past already-marked bins).
+func (st *ScanState) update(n int, power []float64, thresh, noise float64, incremental bool) {
+	if len(st.active) != n {
+		st.active = make([]bool, n)
+		st.hints = st.hints[:0]
+	}
+	for _, i := range st.hints {
+		st.active[i] = false
+	}
+	st.hints = st.hints[:0]
+	for i := 1; i < n-1; i++ {
+		if power[i] < thresh {
+			continue
+		}
+		lo, hi := i-scanGuardBins, i+scanGuardBins
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > n-2 {
+			hi = n - 2
+		}
+		for j := lo; j <= hi; j++ {
+			if !st.active[j] {
+				st.active[j] = true
+				st.hints = append(st.hints, j)
+			}
+		}
+	}
+	if incremental {
+		st.frames++
+	} else {
+		st.frames = 0
+	}
+	st.noise = noise
+	st.valid = true
+}

@@ -1,0 +1,61 @@
+// Cache registry of the scene package. Tag field responses are pure
+// functions of (tag geometry, radar position, frequency), and a drive-by
+// sweep interrogates the same tag from the same trajectory positions on
+// every read — so the per-scatterer module sums, the dominant cost of
+// decode-mode scene evaluation, are memoized process-wide. Entries are
+// immutable complex/real values shared across goroutines; the entry count
+// is mirrored into ros_scene_response_entries and ResetCaches drops it.
+package scene
+
+import "ros/internal/obs"
+
+// sceneResponseCap bounds the memo. A canonical read touches a few thousand
+// (position, frequency) pairs per tag; 65536 entries hold dozens of
+// simultaneous sweeps. Unlike the radar caches (whose working sets are one
+// entry per config), trajectories with per-read jitter could grow this
+// without bound, so on hitting the cap the map is wiped and rebuilt — memo
+// misses change timing, never values.
+const sceneResponseCap = 1 << 16
+
+var sceneResponses = obs.NewCountedMap(obs.Default.Gauge("ros_scene_response_entries",
+	"Resident memoized tag field terms, one per (tag fingerprint, radar position, frequency, term)."))
+
+// responseKind distinguishes the memoized field terms sharing the cache.
+type responseKind uint8
+
+const (
+	kindResponse   responseKind = iota // Tag.Response (decode-mode complex field)
+	kindStackPower                     // Tag.stackPower (detect-mode aperture power)
+)
+
+// responseKey addresses one memoized term. Positions and frequency are keyed
+// on their exact float64 bits: any change reruns the module loop, equal bits
+// return the identical stored value, so memoized and direct evaluation are
+// indistinguishable byte for byte.
+type responseKey struct {
+	fp         uint64 // tag fingerprint from NewTag; 0 never reaches the cache
+	px, py, pz float64
+	f          float64
+	kind       responseKind
+}
+
+// memoLoad returns the cached term for key, if present.
+func memoLoad(key responseKey) (any, bool) { return sceneResponses.Load(key) }
+
+// memoStore publishes a computed term, wiping the cache first when at
+// capacity. Concurrent racers compute identical values (the term is a pure
+// function of the key), so whichever store wins is indistinguishable.
+func memoStore(key responseKey, v any) {
+	if sceneResponses.Len() >= sceneResponseCap {
+		sceneResponses.Clear()
+	}
+	sceneResponses.LoadOrStore(key, v)
+}
+
+// ResetCaches drops the scene memo cache and zeroes its gauge. Subsequent
+// calls recompute and repopulate; results are bit-identical either way.
+// Intended for long-lived processes cycling through unbounded tag or
+// trajectory sets and for tests that need a cold start.
+func ResetCaches() {
+	sceneResponses.Clear()
+}

@@ -85,7 +85,11 @@ func radarElementAmp(az float64) float64 {
 func (s *Scene) Scatterers(radarPos, radarVel geom.Vec3, mode Mode, fe em.RadarFrontEnd, f float64, rng *rand.Rand) []radar.Scatterer {
 	lambda := em.Wavelength(f)
 	fogAtten := s.Fog.AttenuationDBPerMeter() + em.RainAttenuationDBPerMeter(s.RainMMPerHour)
-	var out []radar.Scatterer
+	capHint := 3 * len(s.Tags) // detect mode emits up to 3 points per tag
+	for _, o := range s.Clutter {
+		capHint += len(o.offsets)
+	}
+	out := make([]radar.Scatterer, 0, capHint)
 
 	// amplitudeFor evaluates Eq 1 for a given RCS (m^2) at distance d,
 	// including the radar element pattern and fog.

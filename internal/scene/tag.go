@@ -28,6 +28,14 @@ type Tag struct {
 	// Stats calibrates the tag's co-polarized (detection mode) appearance;
 	// defaults to Stats(ClassTag).
 	Stats ClassStats
+
+	// fp fingerprints the response-relevant geometry (layout, stack,
+	// position), keying the process-wide field-term memo. NewTag computes it
+	// eagerly; tags built as literals carry fp 0 and always evaluate
+	// directly. A non-zero fp asserts Layout, Stack, and Position stay
+	// unmodified for the tag's lifetime — mutate them and the memo serves
+	// stale terms.
+	fp uint64
 }
 
 // NewTag assembles a tag from a layout and a stack at the given position.
@@ -38,7 +46,61 @@ func NewTag(layout *coding.Layout, st *stack.Stack, pos geom.Vec3) (*Tag, error)
 	if err := st.Validate(); err != nil {
 		return nil, err
 	}
-	return &Tag{Layout: layout, Stack: st, Position: pos, Stats: Stats(ClassTag)}, nil
+	return &Tag{
+		Layout:   layout,
+		Stack:    st,
+		Position: pos,
+		Stats:    Stats(ClassTag),
+		fp:       tagFingerprint(layout, st, pos),
+	}, nil
+}
+
+// FNV-1a parameters for the tag fingerprint.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func fnvFloat(h uint64, v float64) uint64 { return fnvU64(h, math.Float64bits(v)) }
+
+func fnvFloats(h uint64, vs []float64) uint64 {
+	h = fnvU64(h, uint64(len(vs)))
+	for _, v := range vs {
+		h = fnvFloat(h, v)
+	}
+	return h
+}
+
+// tagFingerprint hashes everything Response and stackPower read: the stack
+// placements, the module heights and phase weights, the module model itself
+// (via its printed field values — slow, but run once per tag), and the world
+// position. Zero is reserved for "no memo", so a hash landing there is
+// nudged off it.
+func tagFingerprint(layout *coding.Layout, st *stack.Stack, pos geom.Vec3) uint64 {
+	h := uint64(fnvOffset)
+	h = fnvFloats(h, layout.Positions())
+	h = fnvFloats(h, st.Heights)
+	h = fnvFloats(h, st.Phases)
+	for _, b := range []byte(fmt.Sprintf("%+v", *st.Module)) {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	h = fnvFloat(h, pos.X)
+	h = fnvFloat(h, pos.Y)
+	h = fnvFloat(h, pos.Z)
+	if h == 0 {
+		h = 1
+	}
+	return h
 }
 
 // Response returns the tag's decode-mode complex reflection coefficient for
@@ -46,6 +108,21 @@ func NewTag(layout *coding.Layout, st *stack.Stack, pos geom.Vec3) (*Tag, error)
 // the phase is relative to the tag center (the center's own round-trip phase
 // is applied by the radar model through Scatterer.Range).
 func (t *Tag) Response(radarPos geom.Vec3, f float64) complex128 {
+	if t.fp == 0 {
+		return t.responseDirect(radarPos, f)
+	}
+	key := responseKey{fp: t.fp, px: radarPos.X, py: radarPos.Y, pz: radarPos.Z, f: f, kind: kindResponse}
+	if v, ok := memoLoad(key); ok {
+		return v.(complex128)
+	}
+	r := t.responseDirect(radarPos, f)
+	memoStore(key, r)
+	return r
+}
+
+// responseDirect is Response without the memo: the full per-module coherent
+// field sum.
+func (t *Tag) responseDirect(radarPos geom.Vec3, f float64) complex128 {
 	lambda := em.Wavelength(f)
 	k := 4 * math.Pi / lambda
 	rel := radarPos.Sub(t.Position)
@@ -118,6 +195,20 @@ func (t *Tag) ElevationEnvelope(radarPos geom.Vec3, f float64) float64 {
 // stackPower evaluates the per-module coherent sum for the reference stack
 // only (elevation structure without the spatial code).
 func (t *Tag) stackPower(radarPos geom.Vec3, f float64) float64 {
+	if t.fp == 0 {
+		return t.stackPowerDirect(radarPos, f)
+	}
+	key := responseKey{fp: t.fp, px: radarPos.X, py: radarPos.Y, pz: radarPos.Z, f: f, kind: kindStackPower}
+	if v, ok := memoLoad(key); ok {
+		return v.(float64)
+	}
+	p := t.stackPowerDirect(radarPos, f)
+	memoStore(key, p)
+	return p
+}
+
+// stackPowerDirect is stackPower without the memo.
+func (t *Tag) stackPowerDirect(radarPos geom.Vec3, f float64) float64 {
 	lambda := em.Wavelength(f)
 	k := 4 * math.Pi / lambda
 	rel := radarPos.Sub(t.Position)

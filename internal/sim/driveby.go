@@ -165,6 +165,11 @@ type DriveBy struct {
 	// MaxFrameLoss is the tolerated fraction of frames lost before the pass
 	// fails with roserr.ErrFrameCorrupt; 0 uses the pipeline default (0.5).
 	MaxFrameLoss float64
+	// DisableIncrementalScan forces every per-frame point-cloud scan to
+	// walk all range bins instead of seeding candidates from the previous
+	// frame. The output is byte-identical either way (the incremental scan
+	// is exact); this exists for A/B verification and perf forensics.
+	DisableIncrementalScan bool
 }
 
 // Validate reports whether the pass configuration is usable. It checks the
@@ -469,6 +474,7 @@ func RunContext(ctx context.Context, cfg DriveBy) (_ *Outcome, rerr error) {
 	}
 	p.Workers = cfg.Workers
 	p.MaxFrameLoss = cfg.MaxFrameLoss
+	p.Detect.DisableIncremental = cfg.DisableIncrementalScan
 	var inj *fault.Injector
 	if cfg.Fault != nil {
 		inj, err = fault.New(*cfg.Fault)

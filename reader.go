@@ -38,6 +38,17 @@ func WithFrameRate(hz float64) ReaderOption {
 	}
 }
 
+// WithFloat64Reference forces full float64 frame synthesis even where the
+// ADC word length leaves float32 headroom. Reads slow down and the thermal
+// noise stream changes (the float32 lane draws a differently-batched
+// realization); decoded bits do not. For A/B verification and numerical
+// forensics, not production reads.
+func WithFloat64Reference() ReaderOption {
+	return func(r *Reader) {
+		r.radar.ForceFloat64 = true
+	}
+}
+
 // NewReader builds a reader around the paper's TI IWR1443 configuration.
 func NewReader(opts ...ReaderOption) *Reader {
 	r := &Reader{radar: radar.TI1443()}
@@ -78,6 +89,12 @@ type ReadOptions struct {
 	// injects nothing); see FaultOptions. A read with Fault nil is
 	// byte-identical to one from a build without the fault layer.
 	Fault *FaultOptions
+	// DisableIncrementalScan makes every per-frame point-cloud scan walk
+	// all range bins instead of seeding candidates from the previous
+	// frame's detections. The read is byte-identical either way (the
+	// incremental scan is exact); this exists for A/B verification and
+	// perf forensics.
+	DisableIncrementalScan bool
 }
 
 // FaultOptions configures deterministic fault injection inside a read: each
@@ -200,6 +217,8 @@ func (r *Reader) ReadContext(ctx context.Context, t *Tag, opts ReadOptions) (*Re
 		Seed:          opts.Seed,
 		Workers:       opts.Workers,
 		Radar:         &r.radar,
+
+		DisableIncrementalScan: opts.DisableIncrementalScan,
 	}
 	if f := opts.Fault; f != nil {
 		cfg.Fault = &fault.Config{
