@@ -21,7 +21,7 @@ BENCH_KERNEL := 'BenchmarkToneFill256$$|BenchmarkToneFill32$$|BenchmarkAccumulat
 # Observability overhead budget (percent) enforced by obs-overhead.
 OBS_OVERHEAD_PCT ?= 2
 
-.PHONY: ci fmt vet build test race test-purego bench bench-kernel bench-trend bench-baseline bench-compare bench-smoke obs-overhead chaos fuzz-smoke profile
+.PHONY: ci fmt vet build test race test-purego bench bench-kernel bench-trend bench-baseline bench-compare bench-smoke obs-overhead chaos fuzz-smoke profile rosd-load rosd-load-smoke
 
 ci: fmt vet build race test-purego
 
@@ -61,6 +61,19 @@ bench-kernel:
 # span timings) to the checked-in trend file. Run before/after perf PRs.
 bench-trend:
 	$(GO) run ./cmd/rosbench -json -trend BENCH_trend.jsonl
+
+# Canonical read-service load profile: 1k+ concurrent mixed-configuration
+# reads against an in-process rosd, appending batch-latency and queue-depth
+# quantiles to the checked-in trend file. 96 distinct configurations against
+# the default LRU capacity of 64 force engine eviction under load, so the run
+# also exercises the bounded-residency contract. Run alongside bench-trend in
+# PRs that touch the service or the engine/cache layers.
+rosd-load:
+	$(GO) run ./cmd/rosd-load -reads 1024 -concurrency 32 -configs 96 -trend BENCH_trend.jsonl
+
+# Reduced-scale load smoke for CI: same harness, no trend append.
+rosd-load-smoke:
+	$(GO) run ./cmd/rosd-load -reads 256 -concurrency 16
 
 # Save the hot-path micro-benchmarks as the comparison baseline (run this on
 # the commit you want to compare against, e.g. before a perf change).

@@ -1,15 +1,19 @@
 package ros
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"ros/internal/fault"
 	"ros/internal/obs"
+	"ros/internal/rosd"
 )
 
 // TestChaosDecodeUnderFrameLoss is the graceful-degradation contract: with
@@ -388,5 +392,107 @@ func TestChaosFlightRecordsBudgetFailure(t *testing.T) {
 	}
 	if entry.Err == "" || !strings.Contains(entry.Err, "frames lost") {
 		t.Errorf("entry error %q does not carry the frame-loss cause", entry.Err)
+	}
+}
+
+// TestChaosRosdBatchFaultIsolation extends the graceful-degradation contract
+// to the read service: inside one batched /v1/read, a request whose injected
+// faults exceed the loss budget fails alone, with a typed JSON error, while
+// every other request in the batch — including a moderately-faulted one —
+// completes normally. One tenant's chaos never fails the batch.
+func TestChaosRosdBatchFaultIsolation(t *testing.T) {
+	srv := rosd.New(rosd.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	batch := rosd.BatchRequest{Reads: []rosd.ReadRequest{
+		{Tenant: "clean", Bits: "1111", FrameBudget: 96, Workers: 1, Seed: 1},
+		{Tenant: "doomed", Bits: "1111", FrameBudget: 96, Workers: 1, Seed: 2,
+			Fault: &rosd.FaultRequest{Seed: 7, DropRate: 0.9}},
+		{Tenant: "panicky", Bits: "1111", FrameBudget: 96, Workers: 1, Seed: 3,
+			Fault: &rosd.FaultRequest{Seed: 7, PanicRate: 1.0}},
+		{Tenant: "degraded", Bits: "1111", FrameBudget: 96, Workers: 1, Seed: 4,
+			Fault: &rosd.FaultRequest{Seed: 7, DropRate: 0.05, CorruptRate: 0.05}},
+	}}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/read", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("faulted batch answered %d, want 200 with per-request errors", resp.StatusCode)
+	}
+	var out rosd.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("%d results for 4 reads", len(out.Results))
+	}
+
+	if r := out.Results[0]; r.Error != nil || !r.Detected || r.Bits != "1111" {
+		t.Errorf("clean read = %+v, want decoded 1111 without error", r)
+	}
+	if r := out.Results[1]; r.Error == nil || r.Error.Kind != "frame_corrupt" {
+		t.Errorf("90%%-drop read = %+v, want typed frame_corrupt error", r)
+	} else if !r.Partial {
+		t.Error("budget-failed read not marked partial")
+	}
+	if r := out.Results[2]; r.Error == nil || r.Error.Kind != "frame_corrupt" {
+		t.Errorf("all-panic read = %+v, want typed frame_corrupt error", r)
+	}
+	if r := out.Results[3]; r.Error != nil || !r.Detected || r.FramesDropped == 0 {
+		t.Errorf("moderately-faulted read = %+v, want degraded success", r)
+	}
+}
+
+// TestChaosRosdFaultDeterminism: the service path adds no randomness — the
+// same faulted request answers identically on repeat (engine-warm) batches.
+func TestChaosRosdFaultDeterminism(t *testing.T) {
+	srv := rosd.New(rosd.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := rosd.BatchRequest{Reads: []rosd.ReadRequest{
+		{Bits: "1111", FrameBudget: 96, Workers: 1, Seed: 11,
+			Fault: &rosd.FaultRequest{Seed: 5, DropRate: 0.1, CorruptRate: 0.1}},
+	}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *rosd.ReadResult
+	for i := 0; i < 3; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/read", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out rosd.BatchResponse
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := out.Results[0]
+		if r.Error != nil {
+			t.Fatalf("batch %d errored: %+v", i, r.Error)
+		}
+		if prev != nil {
+			if r.Bits != prev.Bits || r.SNRdB != prev.SNRdB ||
+				r.FramesDropped != prev.FramesDropped || r.Samples != prev.Samples {
+				t.Fatalf("batch %d diverged from batch 0: %+v vs %+v", i, r, *prev)
+			}
+		} else {
+			prev = &r
+		}
+	}
+	if prev.FramesDropped == 0 {
+		t.Fatal("fault injection never engaged through the service path")
 	}
 }

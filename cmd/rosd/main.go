@@ -1,0 +1,57 @@
+// Command rosd serves drive-by reads over HTTP: POST /v1/read takes a batch
+// of read requests and answers each one independently, while the standard
+// observability endpoints (/metrics, /metrics.json, /debug/flight,
+// /debug/vars, /debug/pprof/) expose the process's state. Engines — the
+// per-configuration resource handles holding transform plans, steering
+// tables, scene memos and pooled buffers — live in a capacity-bounded LRU,
+// so resident memory tracks the working set of configurations.
+//
+// Usage:
+//
+//	rosd [-addr localhost:8080] [-engines 64] [-queue 256] [-batch 64]
+//	     [-read-timeout 0]
+//
+// See docs/ROSD.md for the API and tuning guidance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ros/internal/rosd"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	engines := flag.Int("engines", 64, "engine LRU capacity (distinct resident configurations)")
+	queue := flag.Int("queue", 256, "admission limit: max in-flight reads before batches get 429")
+	batch := flag.Int("batch", 64, "max reads per batch")
+	readTimeout := flag.Duration("read-timeout", 0, "per-read execution deadline (0 disables)")
+	flag.Parse()
+
+	srv := rosd.New(rosd.Config{
+		Addr:           *addr,
+		EngineCapacity: *engines,
+		MaxQueueDepth:  *queue,
+		MaxBatch:       *batch,
+		ReadTimeout:    *readTimeout,
+	})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "rosd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rosd: serving on http://%s (engines %d, queue %d)\n",
+		srv.Addr(), *engines, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rosd: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "rosd:", err)
+		os.Exit(1)
+	}
+}

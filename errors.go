@@ -27,4 +27,7 @@ var (
 	// ErrWorkerPanic marks a recovered panic in a parallel stage; the chain
 	// carries the panic value and stack trace.
 	ErrWorkerPanic = roserr.ErrWorkerPanic
+	// ErrOverload marks a read service request refused by admission control
+	// (queue at capacity); retry after backoff.
+	ErrOverload = roserr.ErrOverload
 )

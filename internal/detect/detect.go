@@ -33,7 +33,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 	"time"
 
 	"ros/internal/cluster"
@@ -119,6 +118,15 @@ type Pipeline struct {
 	// aggregate of azimuth samples, so partial frame loss degrades SNR
 	// rather than correctness.
 	MaxFrameLoss float64
+	// Session, when non-nil, supplies the radar resource handle the run
+	// draws its synthesis plan (and with it steering tables, transform
+	// plans, and frame pools) from; nil uses the process-wide default
+	// session. Results are byte-identical either way.
+	Session *radar.Session
+	// ScanStates, when non-nil, pools the per-worker incremental scan
+	// states; nil uses a process-wide pool. Like the hint state itself it
+	// never affects output, only how much work the scan does.
+	ScanStates *radar.ScanStatePool
 }
 
 // NewPipeline returns a pipeline with the paper's defaults around the given
@@ -325,7 +333,7 @@ func (p *Pipeline) synthesizeFrames(ctx context.Context, sc *scene.Scene, truth 
 	cloudSp := sp.StartChild(SpanPointCloud)
 	fe := p.Radar.FrontEnd
 	f := p.Radar.CenterFrequency
-	plan := p.Radar.NewSynthPlan()
+	plan := p.synthPlan()
 	inj := p.Fault
 	samples := p.Radar.Samples
 	numRx := p.Radar.NumRx
@@ -377,7 +385,7 @@ func (p *Pipeline) synthesizeCleanFrame(sc *scene.Scene, pose geom.Vec3, vel geo
 	radar.ReleaseFrame(decFrame)
 	t2 := time.Now()
 
-	p.extractPoints(&fd, pose, false)
+	p.extractPoints(&fd, pose, plan, false)
 	t3 := time.Now()
 	synthSp.Add(t1.Sub(t0))
 	rangeSp.Add(t2.Sub(t1))
@@ -417,32 +425,45 @@ func (p *Pipeline) synthesizeFaultyFrame(sc *scene.Scene, pose geom.Vec3, vel ge
 	radar.ReleaseFrame(detFrame)
 	radar.ReleaseFrame(decFrame)
 	t2 := time.Now()
-	p.extractPoints(&fd, pose, true)
+	p.extractPoints(&fd, pose, plan, true)
 	rangeSp.Add(t2.Sub(t1))
 	cloudSp.Add(time.Since(t2))
 	return fd, nil
 }
 
-// scanStates pools incremental-scan state for the per-frame point-cloud
-// extraction. Workers interleave frames arbitrarily, so a pooled state's
-// hints describe whichever frame its last holder processed — which is
-// exactly as much as the incremental scan needs: the hint set is a
+// synthPlan resolves the run's frame front-end plan through the configured
+// resource handle, falling back to the process-wide default session.
+func (p *Pipeline) synthPlan() *radar.SynthPlan {
+	if p.Session != nil {
+		return p.Session.SynthPlanFor(p.Radar)
+	}
+	return p.Radar.NewSynthPlan()
+}
+
+// defaultScanStates pools incremental-scan state for pipelines without an
+// explicit handle. Workers interleave frames arbitrarily, so a pooled
+// state's hints describe whichever frame its last holder processed — which
+// is exactly as much as the incremental scan needs: the hint set is a
 // performance prior, never an output input (radar.PointCloudScan falls back
 // to a full scan whenever the hints fail its coverage check), so any
 // provenance keeps the run byte-identical at every worker count.
-var scanStates = sync.Pool{New: func() any { return new(radar.ScanState) }}
+var defaultScanStates radar.ScanStatePool
 
 // extractPoints converts the frame's detection-mode point cloud into world
-// coordinates. tainted marks frames that passed through the fault layer's
-// sample corruption: their scan starts from a Reset state, so no
-// fault-adjacent frame ever rides on hints and the hint chain restarts from
-// the scrubbed profile's own full scan.
-func (p *Pipeline) extractPoints(fd *frameData, pose geom.Vec3, tainted bool) {
-	st := scanStates.Get().(*radar.ScanState)
+// coordinates via the plan's scan path. tainted marks frames that passed
+// through the fault layer's sample corruption: their scan starts from a
+// Reset state, so no fault-adjacent frame ever rides on hints and the hint
+// chain restarts from the scrubbed profile's own full scan.
+func (p *Pipeline) extractPoints(fd *frameData, pose geom.Vec3, plan *radar.SynthPlan, tainted bool) {
+	pool := p.ScanStates
+	if pool == nil {
+		pool = &defaultScanStates
+	}
+	st := pool.Get()
 	if tainted {
 		st.Reset()
 	}
-	for _, d := range p.Radar.PointCloudScan(fd.det, p.Detect, st) {
+	for _, d := range plan.PointCloudScan(fd.det, p.Detect, st) {
 		// Radar at y > 0 looks toward -y; a detection at (range, az)
 		// sits at radar + range*(sin az, -cos az).
 		world := pose.XY().Add(geom.Vec2{
@@ -451,7 +472,7 @@ func (p *Pipeline) extractPoints(fd *frameData, pose geom.Vec3, tainted bool) {
 		})
 		fd.points = append(fd.points, cluster.Point{Pos: world, Weight: d.Power})
 	}
-	scanStates.Put(st)
+	pool.Put(st)
 }
 
 // classifyObject spotlights one cluster in both polarization modes across

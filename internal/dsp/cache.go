@@ -1,49 +1,45 @@
-// Cache registry of the dsp package. Every memo cache here is a
-// process-lifetime map keyed by transform geometry — sizes, windows,
-// directions — whose entries are immutable once built and shared across
-// goroutines. None of them evict: the working set is bounded by the number
-// of distinct geometries the process touches, which for a radar pipeline is
-// a handful, but a long-lived server fed adversarial sizes could grow them
-// without limit. Each cache therefore mirrors its entry count into an
-// internal/obs gauge (ros_dsp_*_entries), and ResetCaches drops them all.
+// Default-set compatibility shim of the dsp package. Every memo cache —
+// fused plans, window tables, twiddle tables, chirp plans — lives in a
+// PlanSet (see planset.go); this file owns the one default set behind the
+// package-level entry points, so callers without an explicit resource handle
+// keep the process-lifetime behavior. The default set's caches mirror their
+// entry counts into the legacy ros_dsp_*_entries gauges, and ResetCaches
+// drops them all.
 //
-// The scratch pools (Gauss streams, in-place transform buffers) are
+// The scratch pools (Gauss streams, per-plan in-place transform buffers) are
 // sync.Pools: the garbage collector already bounds those, so they are not
 // counted here.
 package dsp
 
 import "ros/internal/obs"
 
-var (
-	// planCache memoizes fused window+FFT plans per (size, window).
-	planCache = obs.NewCountedMap(obs.Default.Gauge("ros_dsp_plan_cache_entries",
-		"Resident fused window+FFT plans, one per (size, window) pair."))
-	// windowCache memoizes window coefficient tables per (window, length).
-	windowCache = obs.NewCountedMap(obs.Default.Gauge("ros_dsp_window_cache_entries",
-		"Resident window coefficient tables, one per (window, length) pair."))
-	// twiddles caches forward roots of unity per transform size.
-	twiddles = obs.NewCountedMap(obs.Default.Gauge("ros_dsp_twiddle_cache_entries",
-		"Resident FFT twiddle tables, one per transform size."))
-	// chirpPlans caches Bluestein precomputations per (length, direction).
-	chirpPlans = obs.NewCountedMap(obs.Default.Gauge("ros_dsp_chirp_cache_entries",
-		"Resident Bluestein chirp plans, one per (length, direction) pair."))
-	// framePools holds the scratch-buffer pools behind in-place plan
-	// executions, one pool per size. The pools themselves are GC-bounded;
-	// the per-size pool directory is what is counted.
-	framePools = obs.NewCountedMap(obs.Default.Gauge("ros_dsp_frame_pool_sizes",
-		"Distinct transform sizes with a resident in-place scratch pool."))
-)
+// defaultPlans is the process-wide plan set behind the package-level shims.
+var defaultPlans = NewPlanSet(func(cache string) *obs.Gauge {
+	switch cache {
+	case CachePlans:
+		return obs.Default.Gauge("ros_dsp_plan_cache_entries",
+			"Resident fused window+FFT plans, one per (size, window) pair.")
+	case CacheWindows:
+		return obs.Default.Gauge("ros_dsp_window_cache_entries",
+			"Resident window coefficient tables, one per (window, length) pair.")
+	case CacheTwiddles:
+		return obs.Default.Gauge("ros_dsp_twiddle_cache_entries",
+			"Resident FFT twiddle tables, one per transform size.")
+	default:
+		return obs.Default.Gauge("ros_dsp_chirp_cache_entries",
+			"Resident Bluestein chirp plans, one per (length, direction) pair.")
+	}
+})
 
-// ResetCaches drops every dsp memo cache — plans, window tables, twiddle
-// tables, chirp plans, and the in-place scratch pool directory — and zeroes
-// their gauges. Values already handed out stay valid (entries are
-// immutable); subsequent calls simply rebuild. Intended for long-lived
-// processes cycling through unbounded transform geometries and for tests
-// that need a cold start.
+// DefaultPlanSet returns the process-wide plan set the package-level entry
+// points (PlanFor, Window.CachedCoefficients, FFT/IFFT) memoize into.
+func DefaultPlanSet() *PlanSet { return defaultPlans }
+
+// ResetCaches drops every default-set memo cache — plans, window tables,
+// twiddle tables, and chirp plans — and zeroes their gauges. Values already
+// handed out stay valid (entries are immutable); subsequent calls simply
+// rebuild. Intended for long-lived processes cycling through unbounded
+// transform geometries and for tests that need a cold start.
 func ResetCaches() {
-	planCache.Clear()
-	windowCache.Clear()
-	twiddles.Clear()
-	chirpPlans.Clear()
-	framePools.Clear()
+	defaultPlans.Clear()
 }

@@ -80,31 +80,37 @@ func fftInPlace(x []complex128, inverse bool) {
 	}
 }
 
-// twiddles (see cache.go) caches the forward roots of unity per transform
-// size: twiddles[n][j] = exp(-2*pi*i*j/n) for j < n/2. The tables are
-// shared read-only across goroutines (the frame loop of package detect runs
-// FFTs from many workers at once).
-
-func twiddleTable(n int) []complex128 {
-	if t, ok := twiddles.Load(n); ok {
-		return t.([]complex128)
-	}
+// newTwiddleTable builds the forward roots of unity for size n:
+// table[j] = exp(-2*pi*i*j/n) for j < n/2. PlanSet.twiddleTable memoizes
+// the result; the tables are shared read-only across goroutines (the frame
+// loop of package detect runs FFTs from many workers at once).
+func newTwiddleTable(n int) []complex128 {
 	half := n / 2
 	t := make([]complex128, half)
 	for j := 0; j < half; j++ {
 		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
 		t[j] = complex(c, s)
 	}
-	actual, _ := twiddles.LoadOrStore(n, t)
-	return actual.([]complex128)
+	return t
 }
 
-// radix2 is an iterative in-place Cooley-Tukey FFT for power-of-two lengths.
-// Twiddle factors come from a process-wide per-size table (conjugated for
-// the inverse transform), which both removes the per-butterfly complex
-// multiply chain of the textbook formulation (and its accumulated rounding)
-// and keeps the per-call allocation at zero. Scaling is left to the caller.
+// twiddleTable returns the default set's cached table for size n.
+func twiddleTable(n int) []complex128 { return defaultPlans.twiddleTable(n) }
+
+// radix2 is an iterative in-place Cooley-Tukey FFT for power-of-two lengths,
+// drawing its twiddle table from the default plan set. Scaling is left to
+// the caller.
 func radix2(x []complex128, inverse bool) {
+	radix2Roots(x, twiddleTable(len(x)), inverse)
+}
+
+// radix2Roots is radix2 over a caller-supplied forward twiddle table
+// (conjugated per butterfly for the inverse transform), which both removes
+// the per-butterfly complex multiply chain of the textbook formulation (and
+// its accumulated rounding) and keeps the per-call allocation at zero.
+// Plans capture their table at build time and call this, so plan execution
+// never touches a shared cache.
+func radix2Roots(x []complex128, roots []complex128, inverse bool) {
 	n := len(x)
 	// Bit-reversal permutation.
 	for i, j := 0, 0; i < n; i++ {
@@ -117,7 +123,6 @@ func radix2(x []complex128, inverse bool) {
 		}
 		j |= mask
 	}
-	roots := twiddleTable(n)
 	for span := 1; span < n; span <<= 1 {
 		step := span << 1
 		stride := n / step // twiddle index stride at this stage
@@ -144,17 +149,15 @@ type chirpPlan struct {
 	m    int
 }
 
-// chirpPlans is declared in cache.go.
-
+// chirpPlanFor returns the default set's cached chirp plan.
 func chirpPlanFor(n int, inverse bool) *chirpPlan {
-	sign := 0
-	if inverse {
-		sign = 1
-	}
-	key := [2]int{n, sign}
-	if p, ok := chirpPlans.Load(key); ok {
-		return p.(*chirpPlan)
-	}
+	return defaultPlans.chirpPlanFor(n, inverse)
+}
+
+// newChirpPlan builds the Bluestein precomputation for one (length,
+// direction) pair; twiddle supplies the radix-2 table for the kernel FFT so
+// the build draws from the owning plan set, not the process.
+func newChirpPlan(n int, inverse bool, twiddle func(int) []complex128) *chirpPlan {
 	s := -1.0
 	if inverse {
 		s = 1.0
@@ -174,10 +177,8 @@ func chirpPlanFor(n int, inverse bool) *chirpPlan {
 	for k := 1; k < n; k++ {
 		b[m-k] = cmplx.Conj(w[k])
 	}
-	radix2(b, false)
-	p := &chirpPlan{w: w, bfft: b, m: m}
-	actual, _ := chirpPlans.LoadOrStore(key, p)
-	return actual.(*chirpPlan)
+	radix2Roots(b, twiddle(m), false)
+	return &chirpPlan{w: w, bfft: b, m: m}
 }
 
 // bluestein computes an arbitrary-length DFT via the chirp-z transform,

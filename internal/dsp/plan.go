@@ -45,7 +45,9 @@ type Plan struct {
 	// Bluestein path (non-power-of-two sizes): preFwd/preInv fold the window
 	// coefficient, the calibration scale, and the chirp w[k] into one complex
 	// factor per input sample; postFwd/postInv fold the chirp and the 1/m
-	// (and, for the inverse, 1/n) normalization of the convolution.
+	// (and, for the inverse, 1/n) normalization of the convolution. broots is
+	// the captured radix-2 twiddle table of the length-m convolution FFTs, so
+	// execution touches no cache outside the plan.
 	m       int
 	bfftF   []complex128
 	bfftI   []complex128
@@ -53,29 +55,24 @@ type Plan struct {
 	preInv  []complex128
 	postFwd []complex128
 	postInv []complex128
+	broots  []complex128
 	scratch *sync.Pool
+
+	// inplace recycles the staging copy of in-place power-of-two
+	// executions. Owned by the plan (not a package directory) so retiring a
+	// plan set cannot strand per-size pools process-wide.
+	inplace *sync.Pool
 }
 
-// planCache (see cache.go) memoizes plans per (size, window); entries are
-// immutable and shared across goroutines.
-
-// PlanFor returns the cached execution plan for n-point transforms under the
-// given window, building it on first use. It panics if n < 1.
+// PlanFor returns the default set's cached execution plan for n-point
+// transforms under the given window, building it on first use. It panics if
+// n < 1. Callers holding an explicit resource handle use PlanSet.PlanFor.
 func PlanFor(n int, w Window) *Plan {
-	if n < 1 {
-		panic(fmt.Sprintf("dsp: PlanFor with size %d", n))
-	}
-	key := [2]int{n, int(w)}
-	if p, ok := planCache.Load(key); ok {
-		return p.(*Plan)
-	}
-	p := newPlan(n, w)
-	actual, _ := planCache.LoadOrStore(key, p)
-	return actual.(*Plan)
+	return defaultPlans.PlanFor(n, w)
 }
 
-func newPlan(n int, w Window) *Plan {
-	win, gain := w.CachedCoefficients(n)
+func (s *PlanSet) newPlan(n int, w Window) *Plan {
+	win, gain := s.WindowCoefficients(w, n)
 	p := &Plan{n: n, window: w, gain: gain}
 	invGain := 1 / gain
 	if IsPow2(n) {
@@ -94,20 +91,25 @@ func newPlan(n int, w Window) *Plan {
 			p.fwdCoef[j] = win[src] * invGain
 			p.invCoef[j] = win[src] * invGain / float64(n)
 		}
-		p.roots = twiddleTable(n)
+		p.roots = s.twiddleTable(n)
 		p.rootsInv = make([]complex128, len(p.roots))
 		for i, r := range p.roots {
 			p.rootsInv[i] = complex(real(r), -imag(r))
 		}
+		p.inplace = &sync.Pool{New: func() any {
+			buf := make([]complex128, n)
+			return &buf
+		}}
 		return p
 	}
 	// Bluestein: reuse the cached chirp precomputation per direction and
 	// fold the window and calibration scales into the chirp factors.
-	fwd := chirpPlanFor(n, false)
-	inv := chirpPlanFor(n, true)
+	fwd := s.chirpPlanFor(n, false)
+	inv := s.chirpPlanFor(n, true)
 	p.m = fwd.m
 	p.bfftF = fwd.bfft
 	p.bfftI = inv.bfft
+	p.broots = s.twiddleTable(fwd.m)
 	p.preFwd = make([]complex128, n)
 	p.preInv = make([]complex128, n)
 	p.postFwd = make([]complex128, n)
@@ -191,11 +193,12 @@ func (p *Plan) execute(dst, src []complex128, inverse bool) {
 	}
 	if &dst[0] == &src[0] {
 		// In-place request: the fused gather reads src through the
-		// permutation while writing dst, so stage through a scratch copy.
-		tmp := framePool(n)
+		// permutation while writing dst, so stage through a scratch copy
+		// from the plan's own pool.
+		tmp := p.inplace.Get().(*[]complex128)
 		copy(*tmp, src)
 		p.stages(dst, *tmp, coef, roots)
-		releaseFramePool(n, tmp)
+		p.inplace.Put(tmp)
 		return
 	}
 	p.stages(dst, src, coef, roots)
@@ -369,33 +372,13 @@ func (p *Plan) bluestein(dst, src []complex128, inverse bool) {
 		a[k] = src[k] * pre[k]
 	}
 	clear(a[n:])
-	radix2(a, false)
+	radix2Roots(a, p.broots, false)
 	for i := range a {
 		a[i] *= bf[i]
 	}
-	radix2(a, true)
+	radix2Roots(a, p.broots, true)
 	for k := 0; k < n; k++ {
 		dst[k] = a[k] * post[k]
 	}
 	p.scratch.Put(buf)
-}
-
-// framePools (see cache.go) recycles the scratch buffers behind in-place
-// plan executions, one pool per size.
-
-func framePool(n int) *[]complex128 {
-	pool, ok := framePools.Load(n)
-	if !ok {
-		pool, _ = framePools.LoadOrStore(n, &sync.Pool{New: func() any {
-			buf := make([]complex128, n)
-			return &buf
-		}})
-	}
-	return pool.(*sync.Pool).Get().(*[]complex128)
-}
-
-func releaseFramePool(n int, buf *[]complex128) {
-	if pool, ok := framePools.Load(n); ok {
-		pool.(*sync.Pool).Put(buf)
-	}
 }

@@ -64,10 +64,10 @@ func (w Window) Coefficients(n int) []float64 {
 	return c
 }
 
-// windowCache (see cache.go) memoizes coefficient tables per
-// (window, length): the range transform windows every channel of every
-// frame with the same table, and recomputing the cosines dominated its
-// profile. Entries are shared read-only across goroutines.
+// Coefficient tables are memoized per (window, length) in a PlanSet (see
+// planset.go): the range transform windows every channel of every frame with
+// the same table, and recomputing the cosines dominated its profile. Entries
+// are shared read-only across goroutines.
 
 type windowEntry struct {
 	coeffs []float64
@@ -75,26 +75,10 @@ type windowEntry struct {
 }
 
 // CachedCoefficients returns the window coefficients alongside the coherent
-// gain from a process-wide cache. The returned slice is shared: callers must
+// gain from the default plan set. The returned slice is shared: callers must
 // treat it as read-only (use Coefficients for a private copy).
 func (w Window) CachedCoefficients(n int) ([]float64, float64) {
-	key := [2]int{int(w), n}
-	if e, ok := windowCache.Load(key); ok {
-		ent := e.(*windowEntry)
-		return ent.coeffs, ent.gain
-	}
-	c := w.Coefficients(n)
-	sum := 0.0
-	for _, v := range c {
-		sum += v
-	}
-	gain := 1.0
-	if len(c) > 0 {
-		gain = sum / float64(len(c))
-	}
-	actual, _ := windowCache.LoadOrStore(key, &windowEntry{coeffs: c, gain: gain})
-	ent := actual.(*windowEntry)
-	return ent.coeffs, ent.gain
+	return defaultPlans.WindowCoefficients(w, n)
 }
 
 // ApplyFloat multiplies x by the window coefficients in place and returns x.

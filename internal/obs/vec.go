@@ -51,12 +51,13 @@ type vec[T any] struct {
 	idx    atomic.Pointer[vecIndex[T]]
 
 	mu       sync.Mutex // guards growth only, never the observe path
+	maxSets  int        // cardinality cap; MaxLabelSets unless overridden
 	overflow T          // shared child returned past the cardinality cap
 	dropped  *Counter   // the registry's obs_dropped_labelsets_total
 	make     func() T
 }
 
-func newVec[T any](name, help string, labels []string, dropped *Counter, make func() T) *vec[T] {
+func newVec[T any](name, help string, labels []string, maxSets int, dropped *Counter, make func() T) *vec[T] {
 	if len(labels) == 0 {
 		panic(fmt.Sprintf("obs: vector %q needs at least one label", name))
 	}
@@ -65,8 +66,11 @@ func newVec[T any](name, help string, labels []string, dropped *Counter, make fu
 			panic(fmt.Sprintf("obs: vector %q has reserved or empty label %q", name, l))
 		}
 	}
+	if maxSets <= 0 {
+		maxSets = MaxLabelSets
+	}
 	v := &vec[T]{name: name, help: help, labels: append([]string(nil), labels...),
-		dropped: dropped, overflow: make(), make: make}
+		maxSets: maxSets, dropped: dropped, overflow: make(), make: make}
 	v.idx.Store(&vecIndex[T]{m: map[string]labeled[T]{}})
 	return v
 }
@@ -91,7 +95,7 @@ func (v *vec[T]) with(values []string) T {
 	if l, ok := cur.m[key]; ok {
 		return l.child
 	}
-	if len(cur.m) >= MaxLabelSets {
+	if len(cur.m) >= v.maxSets {
 		v.dropped.Inc()
 		return v.overflow
 	}
@@ -103,6 +107,33 @@ func (v *vec[T]) with(values []string) T {
 	next.m[key] = labeled[T]{values: append([]string(nil), values...), child: child}
 	v.idx.Store(next)
 	return child
+}
+
+// delete removes the child with the given label values, freeing its slot
+// under the cardinality cap and dropping it from exposition. It reports
+// whether a child was resident. Deletion publishes a fresh index, so
+// concurrent observers either see the old child (and their observations die
+// with it) or miss — the same semantics a cache Clear has.
+func (v *vec[T]) delete(values []string) bool {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: vector %q got %d label values for %d labels",
+			v.name, len(values), len(v.labels)))
+	}
+	key := labelValuesKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cur := v.idx.Load()
+	if _, ok := cur.m[key]; !ok {
+		return false
+	}
+	next := &vecIndex[T]{m: make(map[string]labeled[T], len(cur.m)-1)}
+	for k, l := range cur.m {
+		if k != key {
+			next.m[k] = l
+		}
+	}
+	v.idx.Store(next)
+	return true
 }
 
 // snapshot returns the resident children sorted by label values, for
@@ -142,6 +173,12 @@ type GaugeVec struct{ v *vec[*Gauge] }
 // With returns the gauge for the given label values.
 func (g *GaugeVec) With(values ...string) *Gauge { return g.v.with(values) }
 
+// Delete removes the labelset's gauge from the vector, freeing its slot
+// under the cardinality cap and dropping it from exposition. It reports
+// whether the labelset was resident. Resource handles use it to retire their
+// per-instance gauges deterministically on Close.
+func (g *GaugeVec) Delete(values ...string) bool { return g.v.delete(values) }
+
 // HistogramVec is a histogram family indexed by a fixed label scheme; every
 // child shares the bucket bounds given at registration.
 type HistogramVec struct{ v *vec[*Histogram] }
@@ -167,13 +204,22 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 		return v
 	}
 	r.checkFreeLocked(name, "counter vector")
-	v = &CounterVec{v: newVec(name, help, labels, dropped, func() *Counter { return &Counter{} })}
+	v = &CounterVec{v: newVec(name, help, labels, 0, dropped, func() *Counter { return &Counter{} })}
 	r.counterVecs[name] = v
 	return v
 }
 
 // GaugeVec returns the named gauge vector, creating it on first use.
 func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return r.GaugeVecCapacity(name, help, 0, labels...)
+}
+
+// GaugeVecCapacity is GaugeVec with an explicit labelset cap (0 means
+// MaxLabelSets; later calls ignore the cap, like every other constructor
+// argument). Per-instance resource gauges — many short-lived handles, each
+// registering a few labelsets and Delete-ing them on Close — size their cap
+// to the handle population instead of the global default.
+func (r *Registry) GaugeVecCapacity(name, help string, maxSets int, labels ...string) *GaugeVec {
 	r.mu.RLock()
 	v := r.gaugeVecs[name]
 	r.mu.RUnlock()
@@ -188,7 +234,7 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 		return v
 	}
 	r.checkFreeLocked(name, "gauge vector")
-	v = &GaugeVec{v: newVec(name, help, labels, dropped, func() *Gauge { return &Gauge{} })}
+	v = &GaugeVec{v: newVec(name, help, labels, maxSets, dropped, func() *Gauge { return &Gauge{} })}
 	r.gaugeVecs[name] = v
 	return v
 }
@@ -219,7 +265,7 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...s
 		}
 	}
 	shared := append([]float64(nil), bounds...)
-	v = &HistogramVec{v: newVec(name, help, labels, dropped, func() *Histogram {
+	v = &HistogramVec{v: newVec(name, help, labels, 0, dropped, func() *Histogram {
 		return &Histogram{bounds: shared, counts: make([]atomic.Int64, len(shared)+1)}
 	})}
 	r.histogramVecs[name] = v

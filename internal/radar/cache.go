@@ -1,31 +1,37 @@
-// Cache registry of the radar package. Both caches are process-lifetime
-// memo maps keyed by radar geometry, with immutable entries shared across
-// goroutines. Neither evicts: the working set is bounded by the number of
-// distinct configurations the process touches, so each mirrors its entry
-// count into an internal/obs gauge (ros_radar_*_entries) and ResetCaches
-// drops them both.
+// Default-session compatibility shim of the radar package. Every memo cache
+// — frame synthesis plans and beamforming steering tables — lives in a
+// Session (see session.go); this file owns the one default session behind
+// the package-level entry points, so callers without an explicit resource
+// handle keep the process-lifetime behavior. The default session's caches
+// mirror their entry counts into the legacy ros_radar_*_entries gauges, and
+// ResetCaches drops them both.
 package radar
 
 import "ros/internal/obs"
 
-var (
-	// synthPlans caches frame front-end plans per Config (Config is
-	// comparable); a sweep re-reading the same radar reuses the
-	// scene-static tables across reads.
-	synthPlans = obs.NewCountedMap(obs.Default.Gauge("ros_radar_synth_plan_entries",
-		"Resident frame synthesis plans, one per radar Config."))
-	// steeringCache caches beamforming steering tables per
-	// (numRx, spacing, frequency).
-	steeringCache = obs.NewCountedMap(obs.Default.Gauge("ros_radar_steering_entries",
-		"Resident beamforming steering tables, one per array geometry."))
-)
+// defaultSession is the process-wide session behind the package-level shims,
+// drawing its transform plans from the default dsp plan set.
+var defaultSession = NewSession(nil, func(cache string) *obs.Gauge {
+	switch cache {
+	case CacheSynthPlans:
+		return obs.Default.Gauge("ros_radar_synth_plan_entries",
+			"Resident frame synthesis plans, one per radar Config.")
+	default:
+		return obs.Default.Gauge("ros_radar_steering_entries",
+			"Resident beamforming steering tables, one per array geometry.")
+	}
+})
 
-// ResetCaches drops the radar memo caches — synthesis plans and steering
-// tables — and zeroes their gauges. Values already handed out stay valid
-// (entries are immutable); subsequent calls simply rebuild. Intended for
-// long-lived processes cycling through unbounded radar configurations and
-// for tests that need a cold start.
+// DefaultSession returns the process-wide session the package-level entry
+// points (Config.NewSynthPlan, Config.Synthesize, the AoA helpers) memoize
+// into.
+func DefaultSession() *Session { return defaultSession }
+
+// ResetCaches drops the default session's memo caches — synthesis plans and
+// steering tables — and zeroes their gauges. Values already handed out stay
+// valid (entries are immutable); subsequent calls simply rebuild. Intended
+// for long-lived processes cycling through unbounded radar configurations
+// and for tests that need a cold start.
 func ResetCaches() {
-	synthPlans.Clear()
-	steeringCache.Clear()
+	defaultSession.Clear()
 }

@@ -1,12 +1,10 @@
 package radar
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
 	"ros/internal/dsp"
-	"ros/internal/em"
 )
 
 // Scatterer is one point reflector as seen from the radar for one frame. The
@@ -98,42 +96,20 @@ type SynthPlan struct {
 	// rangePlan is the fused Hann window + IFFT plan of the range
 	// transform.
 	rangePlan *dsp.Plan
+	// steer is the precomputed AoA steering table for the config's array
+	// geometry, captured from the owning session at build time.
+	steer *steeringTable
+	// pool recycles the plan's frame and profile buffers; releasing the
+	// plan's owner releases the buffers with it.
+	pool *framePool
 }
 
-// synthPlans (see cache.go) caches plans per Config (Config is
-// comparable); a sweep re-reading the same radar reuses the scene-static
-// tables across reads.
-
-// NewSynthPlan validates the configuration once and returns the frame
-// front-end plan for it. It panics on an invalid config, exactly as
-// Synthesize does.
+// NewSynthPlan validates the configuration once and returns the default
+// session's frame front-end plan for it. It panics on an invalid config,
+// exactly as Synthesize does. Callers holding an explicit resource handle
+// use Session.SynthPlanFor instead.
 func (c Config) NewSynthPlan() *SynthPlan {
-	if v, ok := synthPlans.Load(c); ok {
-		return v.(*SynthPlan)
-	}
-	if err := c.Validate(); err != nil {
-		panic(fmt.Sprintf("radar: synthesis plan on invalid config: %v", err))
-	}
-	lambda := c.Wavelength()
-	p := &SynthPlan{
-		cfg:       c,
-		lambda:    lambda,
-		beatK:     2 * c.Slope / em.C,
-		dopK:      2 / lambda,
-		phaseK:    4 * math.Pi / lambda,
-		stepK:     -2 * math.Pi / c.SampleRate,
-		rxK:       2 * math.Pi * c.RxSpacing / lambda,
-		sigma:     math.Sqrt(c.NoisePerBin()*float64(c.Samples)) / math.Sqrt2,
-		rangePlan: dsp.PlanFor(c.Samples, dsp.Hann),
-	}
-	if c.ADCBits > 0 {
-		// Levels per polarity; Validate bounded ADCBits to (0, 30], so
-		// the shift cannot overflow.
-		p.adcLevels = float64(int(1) << (c.ADCBits - 1))
-	}
-	p.useF32 = c.ADCBits <= 14 && !c.ForceFloat64
-	actual, _ := synthPlans.LoadOrStore(c, p)
-	return actual.(*SynthPlan)
+	return defaultSession.SynthPlanFor(c)
 }
 
 // Config returns the radar configuration the plan was built for.
@@ -163,7 +139,7 @@ func (p *SynthPlan) Synthesize(scatterers []Scatterer, g *dsp.Gauss) Frame {
 	// The pooled buffer is taken dirty: the first contributing scatterer
 	// stores its tone (dsp.StoreTone) instead of accumulating, which
 	// replaces the full-frame memclr with useful writes.
-	buf := acquireChannels(c.NumRx, n, false)
+	buf := p.pool.acquire(c.NumRx, n, false)
 	f := Frame{Data: buf.flat, NumRx: c.NumRx, Samples: n, buf: buf}
 
 	var wrote bool

@@ -20,6 +20,16 @@ type chanBuf struct {
 	// laneRe32/laneIm32 are the float32 twins (dsp.ToneFill32), used when
 	// the synthesis plan selects the reduced-precision kernel lane.
 	laneRe32, laneIm32 []float32
+	// home is the pool the buffer recycles through, so ReleaseFrame and
+	// ReleaseProfile return it to the synthesis plan that produced it.
+	home *framePool
+}
+
+// newChanBuf allocates a fresh [numRx][n] buffer.
+func newChanBuf(numRx, n int) *chanBuf {
+	b := &chanBuf{flat: make([]complex128, numRx*n)}
+	b.reshape(numRx, n)
+	return b
 }
 
 // reshape reslices the buffer to [numRx][n], rebuilding the channel views
@@ -59,53 +69,80 @@ func (b *chanBuf) lanes32(n int) (re, im []float32) {
 	return b.laneRe32[:n], b.laneIm32[:n]
 }
 
-// chanPool recycles chanBufs. A drive-by synthesizes and transforms two
-// frames per pose (~560 per pass), and with the frame loop running on a
-// worker pool the buffers would otherwise be reallocated from every worker;
-// recycling them keeps the steady-state allocation rate near zero. Reuse is
-// by capacity, not exact shape: a pooled buffer big enough for the
-// requested [numRx][n] is resliced to it, so interleaved multi-config runs
-// (a sweep mixing radar sizes, or a server handling heterogeneous requests)
-// keep recycling one high-water-mark buffer instead of degrading to a
-// malloc per frame whenever the shape flips. Only a buffer strictly too
-// small for the request is dropped for the garbage collector.
-var chanPool sync.Pool
+// framePool recycles chanBufs for one synthesis plan. A drive-by synthesizes
+// and transforms two frames per pose (~560 per pass), and with the frame
+// loop running on a worker pool the buffers would otherwise be reallocated
+// from every worker; recycling them keeps the steady-state allocation rate
+// near zero. Reuse is by capacity, not exact shape: a pooled buffer big
+// enough for the requested [numRx][n] is resliced to it, so a plan serving
+// heterogeneous profile shapes keeps recycling one high-water-mark buffer
+// instead of degrading to a malloc per frame whenever the shape flips. Only
+// a buffer strictly too small for the request is dropped for the garbage
+// collector.
+//
+// Pools moved from one process-global to per-plan ownership with the Session
+// handle: releasing a plan's owner releases its buffers, and two handles
+// never share pool contents.
+type framePool struct {
+	p sync.Pool
+}
 
-// acquireChannels returns a [numRx][n] buffer, zeroed when zero is set
-// (frame synthesis accumulates with +=; the range transform overwrites
-// every element and skips the clear).
-func acquireChannels(numRx, n int, zero bool) *chanBuf {
+// acquire returns a [numRx][n] buffer homed to this pool, zeroed when zero
+// is set (frame synthesis accumulates with +=; the range transform
+// overwrites every element and skips the clear).
+func (fp *framePool) acquire(numRx, n int, zero bool) *chanBuf {
 	need := numRx * n
-	if v := chanPool.Get(); v != nil {
+	if v := fp.p.Get(); v != nil {
 		b := v.(*chanBuf)
 		if cap(b.flat) >= need {
 			b.reshape(numRx, n)
 			if zero {
 				clear(b.flat)
 			}
+			b.home = fp
 			return b
 		}
 		// Too small for this request: drop it and allocate at the new
 		// high-water mark, which then serves every smaller shape.
 	}
-	b := &chanBuf{flat: make([]complex128, need)}
-	b.reshape(numRx, n)
+	b := newChanBuf(numRx, n)
+	b.home = fp
 	return b
 }
 
-// ReleaseFrame returns a frame's sample buffer to the pool. The caller must
-// not touch the frame afterwards; frames that escape to long-lived results
-// should simply not be released.
-func ReleaseFrame(f Frame) {
-	if f.buf != nil {
-		chanPool.Put(f.buf)
+// put returns a buffer to the pool.
+func (fp *framePool) put(b *chanBuf) {
+	b.home = fp
+	fp.p.Put(b)
+}
+
+// adoptFrom drains other's buffers into this pool. Used when two goroutines
+// race to build the same synthesis plan: the winner adopts the buffers the
+// discarded plan pre-warmed, so no pooled memory strands in an unreachable
+// pool.
+func (fp *framePool) adoptFrom(other *framePool) {
+	for {
+		v := other.p.Get()
+		if v == nil {
+			return
+		}
+		fp.put(v.(*chanBuf))
 	}
 }
 
-// ReleaseProfile returns a range profile's bin buffers to the pool. Same
-// contract as ReleaseFrame.
+// ReleaseFrame returns a frame's sample buffer to its plan's pool. The
+// caller must not touch the frame afterwards; frames that escape to
+// long-lived results should simply not be released.
+func ReleaseFrame(f Frame) {
+	if f.buf != nil && f.buf.home != nil {
+		f.buf.home.put(f.buf)
+	}
+}
+
+// ReleaseProfile returns a range profile's bin buffers to its plan's pool.
+// Same contract as ReleaseFrame.
 func ReleaseProfile(rp RangeProfile) {
-	if rp.buf != nil {
-		chanPool.Put(rp.buf)
+	if rp.buf != nil && rp.buf.home != nil {
+		rp.buf.home.put(rp.buf)
 	}
 }

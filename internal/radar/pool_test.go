@@ -2,25 +2,25 @@ package radar
 
 import "testing"
 
-// TestAcquireChannelsReusesAcrossShapes pins the capacity-based reuse
-// contract: a pooled buffer big enough for the request is resliced rather
-// than dropped, so interleaving two configurations recycles one
-// high-water-mark buffer. The pre-fix exact-shape check dropped the buffer
-// on every shape flip, costing a fresh allocation per frame.
-func TestAcquireChannelsReusesAcrossShapes(t *testing.T) {
+// TestFramePoolReusesAcrossShapes pins the capacity-based reuse contract: a
+// pooled buffer big enough for the request is resliced rather than dropped,
+// so interleaving two configurations recycles one high-water-mark buffer.
+// The pre-fix exact-shape check dropped the buffer on every shape flip,
+// costing a fresh allocation per frame.
+func TestFramePoolReusesAcrossShapes(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool drops items under the race detector")
 	}
+	var fp framePool
 	// Warm the pool to the high-water mark so the measured loop only ever
 	// needs reuse.
-	warm := acquireChannels(8, 512, true)
-	chanPool.Put(warm)
+	fp.put(fp.acquire(8, 512, true))
 
 	allocs := testing.AllocsPerRun(100, func() {
-		big := acquireChannels(8, 512, false)
-		chanPool.Put(big)
-		small := acquireChannels(4, 256, true)
-		chanPool.Put(small)
+		big := fp.acquire(8, 512, false)
+		fp.put(big)
+		small := fp.acquire(4, 256, true)
+		fp.put(small)
 	})
 	// A GC between runs may flush the pool and force one reallocation;
 	// anything beyond that means the shape flip stopped reusing.
@@ -29,17 +29,18 @@ func TestAcquireChannelsReusesAcrossShapes(t *testing.T) {
 	}
 }
 
-// TestAcquireChannelsReshape checks that a reused buffer is correctly
-// resliced: the channel views must tile the flat buffer for the new shape,
-// and a zero request must actually clear the visible samples.
-func TestAcquireChannelsReshape(t *testing.T) {
-	big := acquireChannels(6, 128, false)
+// TestFramePoolReshape checks that a reused buffer is correctly resliced:
+// the channel views must tile the flat buffer for the new shape, and a zero
+// request must actually clear the visible samples.
+func TestFramePoolReshape(t *testing.T) {
+	var fp framePool
+	big := fp.acquire(6, 128, false)
 	for i := range big.flat {
 		big.flat[i] = complex(1, 1) // dirty the buffer
 	}
-	chanPool.Put(big)
+	fp.put(big)
 
-	b := acquireChannels(3, 64, true)
+	b := fp.acquire(3, 64, true)
 	if len(b.flat) != 3*64 {
 		t.Fatalf("flat length = %d, want %d", len(b.flat), 3*64)
 	}
@@ -59,5 +60,9 @@ func TestAcquireChannelsReshape(t *testing.T) {
 			t.Fatalf("zeroed buffer has %v at %d", v, i)
 		}
 	}
-	chanPool.Put(b)
+	fp.put(b)
+
+	if b.home != &fp {
+		t.Fatalf("pooled buffer is not homed to its pool")
+	}
 }

@@ -49,7 +49,7 @@ func (p *SynthPlan) RangeProfile(f Frame) RangeProfile {
 	if f.Samples != c.Samples {
 		panic(fmt.Sprintf("radar: frame channels hold %d samples, config %d", f.Samples, c.Samples))
 	}
-	buf := acquireChannels(c.NumRx, c.Samples, false)
+	buf := p.pool.acquire(c.NumRx, c.Samples, false)
 	p.rangePlan.InverseMany(buf.flat, f.Data, c.NumRx, c.Samples)
 	return RangeProfile{Bins: buf.views, BinSize: c.RangeBinSize(), buf: buf}
 }
@@ -81,13 +81,29 @@ func (c Config) AoASpectrum(rp RangeProfile, bin int, angles []float64) []float6
 // power per angle), so per-bin scans inside the point-cloud loop allocate
 // nothing. dst must have length len(angles).
 func (c Config) AoASpectrumInto(dst []float64, rp RangeProfile, bin int, angles []float64) {
+	c.aoaSpectrumTab(dst, rp, bin, angles, c.steering())
+}
+
+// ScanAngles returns the plan's AoA scan grid; see Config.ScanAngles. The
+// slice is shared and must be treated as read-only.
+func (p *SynthPlan) ScanAngles() []float64 { return p.steer.angles }
+
+// AoASpectrumInto is Config.AoASpectrumInto against the plan's captured
+// steering table, so the per-bin scan never touches a shared cache.
+func (p *SynthPlan) AoASpectrumInto(dst []float64, rp RangeProfile, bin int, angles []float64) {
+	p.cfg.aoaSpectrumTab(dst, rp, bin, angles, p.steer)
+}
+
+// aoaSpectrumTab evaluates Eq 4 at one range bin against an explicit
+// steering table. When angles is the table's own scan grid the precomputed
+// kernels are used and the loop runs no trig at all.
+func (c Config) aoaSpectrumTab(dst []float64, rp RangeProfile, bin int, angles []float64, tab *steeringTable) {
 	if bin < 0 || bin >= len(rp.Bins[0]) {
 		panic(fmt.Sprintf("radar: AoA at bin %d of %d", bin, len(rp.Bins[0])))
 	}
 	if len(dst) != len(angles) {
 		panic(fmt.Sprintf("radar: AoA dst has %d slots for %d angles", len(dst), len(angles)))
 	}
-	tab := c.steering()
 	if len(angles) > 0 && len(angles) == len(tab.angles) && &angles[0] == &tab.angles[0] {
 		// Cached-kernel path: gather the bin across channels once, then one
 		// NumRx-length complex dot product per angle.
@@ -205,6 +221,18 @@ func (c Config) PointCloudFromProfile(rp RangeProfile, opts DetectOptions) []Det
 // opts.DisableIncremental, or opts.UseCFAR, whose local thresholds need
 // every bin) always walks the full profile.
 func (c Config) PointCloudScan(rp RangeProfile, opts DetectOptions, st *ScanState) []Detection {
+	return c.pointCloudScanTab(rp, opts, st, c.steering())
+}
+
+// PointCloudScan is Config.PointCloudScan against the plan's captured
+// steering table, so the per-frame detection pass never touches a shared
+// cache.
+func (p *SynthPlan) PointCloudScan(rp RangeProfile, opts DetectOptions, st *ScanState) []Detection {
+	return p.cfg.pointCloudScanTab(rp, opts, st, p.steer)
+}
+
+// pointCloudScanTab is the scan body against an explicit steering table.
+func (c Config) pointCloudScanTab(rp RangeProfile, opts DetectOptions, st *ScanState, tab *steeringTable) []Detection {
 	if opts.ThresholdDB == 0 {
 		opts.ThresholdDB = 12
 	}
@@ -284,7 +312,7 @@ func (c Config) PointCloudScan(rp RangeProfile, opts DetectOptions, st *ScanStat
 		incremental = maxOut < thresh
 	}
 
-	angles := c.ScanAngles()
+	angles := tab.angles
 	// The median scratch is free again; it holds the AoA spectrum when the
 	// scan grid fits (it does for every config with Samples >= 121 bins).
 	var spec []float64
@@ -306,7 +334,7 @@ func (c Config) PointCloudScan(rp RangeProfile, opts DetectOptions, st *ScanStat
 		} else if power[i] < thresh || power[i] < power[i-1] || power[i] <= power[i+1] {
 			return
 		}
-		c.AoASpectrumInto(spec, rp, i, angles)
+		c.aoaSpectrumTab(spec, rp, i, angles, tab)
 		// Gate at 20 percent of the strongest response so the 4-element
 		// array's -11 dB sidelobes do not spawn ghost points.
 		maxSpec, _ := dsp.Max(spec)

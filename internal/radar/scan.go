@@ -1,6 +1,10 @@
 package radar
 
-import "ros/internal/obs"
+import (
+	"sync"
+
+	"ros/internal/obs"
+)
 
 // The incremental point-cloud scan: frame-to-frame, the set of range bins
 // that can produce detections barely moves (a drive-by shifts the tag by a
@@ -103,4 +107,29 @@ func (st *ScanState) update(n int, power []float64, thresh, noise float64, incre
 	}
 	st.noise = noise
 	st.valid = true
+}
+
+// ScanStatePool recycles ScanStates for one resource handle: a pipeline
+// worker takes a state per frame, and pooling them per handle (instead of
+// in a package global) lets the handle's owner drop them all at once.
+// States come out carrying whatever hints their last holder accumulated —
+// deliberately: the hint set is a performance prior, never an output input
+// (the scan's coverage check falls back to a full walk whenever the hints
+// do not describe the frame at hand), and resetting on Get would break the
+// frame-to-frame carry-over the incremental scan exists for.
+type ScanStatePool struct {
+	p sync.Pool
+}
+
+// Get returns a scan state, warm when the pool has one.
+func (sp *ScanStatePool) Get() *ScanState {
+	if v := sp.p.Get(); v != nil {
+		return v.(*ScanState)
+	}
+	return new(ScanState)
+}
+
+// Put returns a state to the pool. The caller must not touch it afterwards.
+func (sp *ScanStatePool) Put(st *ScanState) {
+	sp.p.Put(st)
 }

@@ -35,20 +35,11 @@ type steeringTable struct {
 	weights []complex128
 }
 
-// steeringCache is declared in cache.go.
-
-// steering returns the cached steering table for this config, computing it
-// on first use.
+// steering returns the default session's cached steering table for this
+// config, computing it on first use. Callers holding an explicit resource
+// handle reach their table through Session.SynthPlanFor instead.
 func (c Config) steering() *steeringTable {
-	key := steeringKey{numRx: c.NumRx, spacing: c.RxSpacing, freq: c.CenterFrequency}
-	if v, ok := steeringCache.Load(key); ok {
-		return v.(*steeringTable)
-	}
-	t := newSteeringTable(c)
-	if v, loaded := steeringCache.LoadOrStore(key, t); loaded {
-		return v.(*steeringTable)
-	}
-	return t
+	return defaultSession.steeringFor(c)
 }
 
 func newSteeringTable(c Config) *steeringTable {

@@ -1,0 +1,347 @@
+package rosd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ros/internal/obs"
+)
+
+// LoadConfig parameterizes RunLoad, the service's load harness: many
+// concurrent clients posting batches of mixed-configuration reads against
+// one server. The zero value of every field keeps the default noted on it.
+type LoadConfig struct {
+	// URL is the base URL of a running server ("http://host:port"); empty
+	// starts an in-process server on an ephemeral port for the run and
+	// closes it after. In-process runs additionally report the server-side
+	// queue-depth histogram (shared process, shared metrics registry).
+	URL string
+	// Server configures the in-process server when URL is empty.
+	Server Config
+	// Reads is the total read count (default 1024).
+	Reads int
+	// Concurrency is the number of parallel client goroutines (default 32).
+	Concurrency int
+	// BatchSize is the reads per POST (default 8).
+	BatchSize int
+	// Configs is the number of distinct radar+scene configurations mixed
+	// into the stream (default 8); each becomes one engine in the LRU.
+	Configs int
+	// Tenants is the number of distinct tenant labels cycled through the
+	// stream (default 4).
+	Tenants int
+	// FrameBudget caps each read's simulated frames (default 48 — the
+	// pipeline refuses passes under 32 frames; 48 exercises it end to end
+	// while keeping a 1k-read run fast).
+	FrameBudget int
+	// MaxRetries bounds per-batch retries after a 429 (default 64).
+	MaxRetries int
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Reads <= 0 {
+		c.Reads = 1024
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 32
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.Configs <= 0 {
+		c.Configs = 8
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.FrameBudget <= 0 {
+		c.FrameBudget = 48
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 64
+	}
+	return c
+}
+
+// LoadReport summarizes one RunLoad: client-observed batch latency
+// quantiles, per-read outcome counts, admission behavior, and (for
+// in-process runs) the server's queue-depth histogram quantiles.
+type LoadReport struct {
+	Reads       int `json:"reads"`
+	Batches     int `json:"batches"`
+	Concurrency int `json:"concurrency"`
+	Configs     int `json:"configs"`
+	// Overloads counts 429 responses (each retried until MaxRetries).
+	Overloads int `json:"overloads"`
+	// Errors counts reads that returned a typed per-request error.
+	Errors int `json:"errors"`
+	// Outcomes counts reads by result label (ok, no_tag, ...).
+	Outcomes map[string]int `json:"outcomes"`
+	// EnginesResident is the server's LRU occupancy after the run.
+	EnginesResident int `json:"engines_resident"`
+	// Evictions counts Engines the LRU closed to stay at capacity over the
+	// run (in-process runs only; zero against a remote URL). A run with more
+	// distinct configurations than EngineCapacity must report a nonzero
+	// count — that is the bounded-residency contract under mixed load.
+	Evictions int64   `json:"evictions"`
+	WallMS    float64 `json:"wall_ms"`
+	// BatchP50MS/P99MS/MaxMS are client-observed per-batch latencies.
+	BatchP50MS float64 `json:"batch_p50_ms"`
+	BatchP99MS float64 `json:"batch_p99_ms"`
+	BatchMaxMS float64 `json:"batch_max_ms"`
+	// QueueDepthP50/P99 are bucket-upper-bound quantiles of the server's
+	// ros_rosd_queue_depth histogram over the run (in-process runs only;
+	// zero against a remote URL).
+	QueueDepthP50 float64 `json:"queue_depth_p50"`
+	QueueDepthP99 float64 `json:"queue_depth_p99"`
+}
+
+// RunLoad drives cfg.Reads mixed-configuration reads through the service and
+// reports what the clients and the admission layer saw. Batches refused with
+// 429 are retried with backoff (that is the documented client contract for
+// overload), so every read completes unless the server stays saturated past
+// MaxRetries.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+
+	url := cfg.URL
+	var inProcess *Server
+	var depthBefore *obs.HistogramSnap
+	var evictionsBefore int64
+	if url == "" {
+		srv := New(cfg.Server)
+		if err := srv.Start(); err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		inProcess = srv
+		url = "http://" + srv.Addr()
+		depthBefore = snapHistogram("ros_rosd_queue_depth")
+		evictionsBefore = snapCounter("ros_rosd_engine_evictions_total")
+	}
+
+	client := &http.Client{}
+	batches := make(chan BatchRequest, cfg.Concurrency)
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		report    = &LoadReport{
+			Reads:       cfg.Reads,
+			Concurrency: cfg.Concurrency,
+			Configs:     cfg.Configs,
+			Outcomes:    make(map[string]int),
+		}
+		firstErr error
+	)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for batch := range batches {
+				res, overloads, lat, err := postBatch(client, url, batch, cfg.MaxRetries)
+				mu.Lock()
+				report.Batches++
+				report.Overloads += overloads
+				latencies = append(latencies, lat)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				report.EnginesResident = res.EnginesResident
+				for i := range res.Results {
+					r := &res.Results[i]
+					report.Outcomes[resultOutcome(r)]++
+					if r.Error != nil {
+						report.Errors++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	seed := int64(1)
+	for sent := 0; sent < cfg.Reads; {
+		n := cfg.BatchSize
+		if rem := cfg.Reads - sent; n > rem {
+			n = rem
+		}
+		batch := BatchRequest{Reads: make([]ReadRequest, n)}
+		for i := range batch.Reads {
+			batch.Reads[i] = loadRead(cfg, seed)
+			seed++
+		}
+		batches <- batch
+		sent += n
+	}
+	close(batches)
+	wg.Wait()
+	report.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+
+	if firstErr != nil {
+		return report, firstErr
+	}
+
+	sort.Float64s(latencies)
+	report.BatchP50MS = quantile(latencies, 0.50)
+	report.BatchP99MS = quantile(latencies, 0.99)
+	if len(latencies) > 0 {
+		report.BatchMaxMS = latencies[len(latencies)-1]
+	}
+	if inProcess != nil {
+		if after := snapHistogram("ros_rosd_queue_depth"); after != nil {
+			report.QueueDepthP50 = histSnapQuantile(depthBefore, after, 0.50)
+			report.QueueDepthP99 = histSnapQuantile(depthBefore, after, 0.99)
+		}
+		report.Evictions = snapCounter("ros_rosd_engine_evictions_total") - evictionsBefore
+	}
+	return report, nil
+}
+
+// loadRead builds the i-th read of the stream: configurations and tenants
+// cycle so the engine LRU and the per-tenant metric vecs both see a mix, and
+// standoff varies per configuration so distinct configurations really are
+// distinct scenes (different fingerprints, different engines). The 2 cm
+// standoff step keeps even a 96-configuration sweep inside the detectable
+// envelope (~3–5 m at the default frame budget), so outcome counts measure
+// the service, not the physics.
+func loadRead(cfg LoadConfig, seed int64) ReadRequest {
+	conf := int(seed) % cfg.Configs
+	return ReadRequest{
+		Tenant:      fmt.Sprintf("tenant-%d", int(seed)%cfg.Tenants),
+		Bits:        "1111",
+		Standoff:    3 + 0.02*float64(conf),
+		WithClutter: conf%2 == 1,
+		FrameBudget: cfg.FrameBudget,
+		Workers:     1,
+		Seed:        seed,
+	}
+}
+
+// postBatch POSTs one batch, retrying 429s with linear backoff. It returns
+// the decoded response, the overload count, and the total wall millis
+// (including backoff — the latency a well-behaved client experiences).
+func postBatch(client *http.Client, url string, batch BatchRequest, maxRetries int) (*BatchResponse, int, float64, error) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	start := time.Now()
+	overloads := 0
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url+"/v1/read", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, overloads, msSince(start), err
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, overloads, msSince(start), err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			overloads++
+			if attempt >= maxRetries {
+				return nil, overloads, msSince(start),
+					fmt.Errorf("rosd load: still overloaded after %d retries", maxRetries)
+			}
+			time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, overloads, msSince(start),
+				fmt.Errorf("rosd load: status %d: %s", resp.StatusCode, payload)
+		}
+		var out BatchResponse
+		if err := json.Unmarshal(payload, &out); err != nil {
+			return nil, overloads, msSince(start), err
+		}
+		return &out, overloads, msSince(start), nil
+	}
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Nanoseconds()) / 1e6 }
+
+// quantile reads q from an ascending latency slice (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// snapCounter reads one scalar counter out of the default registry.
+func snapCounter(name string) int64 {
+	snap := obs.Default.Snapshot()
+	for i := range snap.Counters {
+		c := &snap.Counters[i]
+		if c.Name == name && len(c.Labels) == 0 {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// snapHistogram copies one scalar histogram out of the default registry.
+func snapHistogram(name string) *obs.HistogramSnap {
+	snap := obs.Default.Snapshot()
+	for i := range snap.Histograms {
+		h := &snap.Histograms[i]
+		if h.Name == name && len(h.Labels) == 0 {
+			return h
+		}
+	}
+	return nil
+}
+
+// histSnapQuantile estimates quantile q of the observations a histogram
+// gained between two snapshots (before may be nil), reporting the upper
+// bound of the bucket the quantile falls in — the same convention the
+// runtime-histogram gauges use. The unbounded last bucket reports the
+// previous bound.
+func histSnapQuantile(before, after *obs.HistogramSnap, q float64) float64 {
+	if after == nil {
+		return 0
+	}
+	deltaAt := func(i int) int64 {
+		c := after.Buckets[i].Count
+		if before != nil && i < len(before.Buckets) {
+			c -= before.Buckets[i].Count
+		}
+		return c
+	}
+	n := len(after.Buckets)
+	total := deltaAt(n - 1)
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	for i := 0; i < n; i++ {
+		if deltaAt(i) >= target {
+			if math.IsInf(after.Buckets[i].LE, 1) && i > 0 {
+				return after.Buckets[i-1].LE
+			}
+			return after.Buckets[i].LE
+		}
+	}
+	return after.Buckets[n-1].LE
+}

@@ -1,0 +1,525 @@
+// Package rosd implements the RoS read service: a zero-dependency HTTP/JSON
+// daemon serving batched drive-by reads for many radar+scene configurations
+// from one process. Each distinct configuration gets an engine.Engine from a
+// capacity-bounded LRU (eviction closes the engine, releasing its caches and
+// metric entries deterministically), so resident memory tracks the working
+// set of configurations instead of growing with every configuration ever
+// seen — the failure mode the process-global caches had.
+//
+// Admission control is batch-granular: when accepting a batch would push the
+// number of in-flight reads past Config.MaxQueueDepth, the batch is refused
+// with HTTP 429 and an "overload" error body (roserr.ErrOverload) instead of
+// being queued into an unbounded latency tail. Within an admitted batch,
+// requests are independent: each runs in its own goroutine and degrades on
+// its own — one tenant's injected fault or bad configuration yields a typed
+// per-request error in the response array and never fails the batch
+// (extending the per-frame degradation contract of the read pipeline to the
+// service boundary).
+//
+// See docs/ROSD.md for the API reference and capacity tuning.
+package rosd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"ros/internal/em"
+	"ros/internal/fault"
+	"ros/internal/obs"
+	"ros/internal/obs/httpserve"
+	"ros/internal/roserr"
+	"ros/internal/sim"
+)
+
+// Service metrics. Package-level because an obs.Registry panics on duplicate
+// registration and tests start several servers per process. Tenant is a
+// caller-supplied label; the vec's labelset cap routes an abusive cardinality
+// flood to the overflow child rather than growing without bound.
+var (
+	mReads = obs.Default.CounterVec("ros_rosd_reads_total",
+		"Read requests served, by tenant and outcome.", "tenant", "outcome")
+	hReadSeconds = obs.Default.HistogramVec("ros_rosd_read_seconds",
+		"Wall time of one read request inside an admitted batch.",
+		obs.LogBuckets(1e-4, 10, 2), "tenant")
+	hQueueDepth = obs.Default.Histogram("ros_rosd_queue_depth",
+		"In-flight reads observed at each batch admission decision.",
+		obs.LinearBuckets(0, 8, 33))
+	mBatches = obs.Default.Counter("ros_rosd_batches_total",
+		"Read batches admitted.")
+	mOverload = obs.Default.Counter("ros_rosd_overload_total",
+		"Read batches refused by admission control (HTTP 429).")
+	gInflight = obs.Default.Gauge("ros_rosd_inflight_reads",
+		"Reads currently executing.")
+	gEngines = obs.Default.Gauge("ros_rosd_engines_resident",
+		"Engines resident in the configuration LRU.")
+	mEngineHits = obs.Default.Counter("ros_rosd_engine_hits_total",
+		"Batch requests that found their configuration's engine resident.")
+	mEngineMisses = obs.Default.Counter("ros_rosd_engine_misses_total",
+		"Batch requests that built a fresh engine for their configuration.")
+	mEvictions = obs.Default.Counter("ros_rosd_engine_evictions_total",
+		"Engines evicted (and closed) to stay under the LRU capacity.")
+)
+
+// Outcome labels for ros_rosd_reads_total.
+const (
+	outcomeOK          = "ok"
+	outcomeNoTag       = "no_tag"
+	outcomeUndecodable = "undecodable"
+	outcomePartial     = "partial"
+	outcomeError       = "error"
+)
+
+// Config parameterizes a Server. The zero value serves with the defaults
+// noted on each field.
+type Config struct {
+	// Addr is the listen address for Start (default "localhost:0").
+	Addr string
+	// EngineCapacity bounds the configuration LRU; the least recently used
+	// engine is closed when a new configuration would exceed it.
+	// Default 64.
+	EngineCapacity int
+	// MaxQueueDepth is the admission limit: a batch is refused with 429
+	// when accepting it would push in-flight reads past this depth.
+	// Default 256.
+	MaxQueueDepth int
+	// MaxBatch caps the reads in one batch; larger batches are rejected as
+	// configuration errors (HTTP 400). Default 64.
+	MaxBatch int
+	// ReadTimeout bounds each read's execution (not the whole batch);
+	// expiry yields a per-request "cancelled" error. Default 0 (none).
+	ReadTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "localhost:0"
+	}
+	if c.EngineCapacity <= 0 {
+		c.EngineCapacity = 64
+	}
+	if c.MaxQueueDepth <= 0 {
+		c.MaxQueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// Server is the read service. Construct with New, serve over the network
+// with Start or embed Handler in a test server, release with Close.
+type Server struct {
+	cfg     Config
+	engines *engineLRU
+	mux     *http.ServeMux
+
+	// admit guards the admission decision so depth checks against
+	// MaxQueueDepth are exact rather than racy-increment-then-undo.
+	admit    sync.Mutex
+	inflight int
+
+	lis net.Listener
+	srv *http.Server
+}
+
+// New builds a Server around the observability mux: /metrics, /metrics.json,
+// /debug/flight, /debug/vars and /debug/pprof/ come from
+// internal/obs/httpserve; the read API mounts at /v1/read.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		engines: newEngineLRU(cfg.EngineCapacity),
+		mux:     httpserve.Mux(nil),
+	}
+	s.mux.HandleFunc("/v1/read", s.handleRead)
+	return s
+}
+
+// Handler returns the server's HTTP handler, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on cfg.Addr and serves in a background goroutine.
+func (s *Server) Start() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("rosd: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.lis = lis
+	s.srv = &http.Server{Handler: s.mux}
+	go func() {
+		if err := s.srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			obs.Logger().Error("rosd: serve failed", "err", err)
+		}
+	}()
+	obs.Logger().Info("rosd: serving", "addr", lis.Addr().String(),
+		"engine_capacity", s.cfg.EngineCapacity, "max_queue_depth", s.cfg.MaxQueueDepth)
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close stops the listener (when started) and closes every resident engine,
+// dropping their caches and metric entries. In-flight reads keep the state
+// they already hold and complete normally.
+func (s *Server) Close() error {
+	var err error
+	if s.srv != nil {
+		err = s.srv.Close()
+	}
+	s.engines.Close()
+	return err
+}
+
+// BatchRequest is the body of POST /v1/read.
+type BatchRequest struct {
+	Reads []ReadRequest `json:"reads"`
+}
+
+// ReadRequest configures one drive-by read inside a batch. The zero value of
+// every field keeps the corresponding simulator default (32-module tag at a
+// 3 m standoff, 2 m/s, clear weather).
+type ReadRequest struct {
+	// Tenant labels the request's metrics; empty renders as "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Bits is the tag's encoded bit string (required).
+	Bits string `json:"bits"`
+	// StackModules is the number of PSVAAs per stack (8, 16 or 32).
+	StackModules int `json:"stack_modules,omitempty"`
+	// Standoff is the closest radar-to-tag distance in meters.
+	Standoff float64 `json:"standoff,omitempty"`
+	// SpeedMPS is the vehicle speed in m/s.
+	SpeedMPS float64 `json:"speed_mps,omitempty"`
+	// HeightOffset is the radar-vs-tag-center height mismatch in meters.
+	HeightOffset float64 `json:"height_offset,omitempty"`
+	// Fog selects the weather: "", "clear", "light" or "heavy".
+	Fog string `json:"fog,omitempty"`
+	// TrackingError is the relative self-tracking drift.
+	TrackingError float64 `json:"tracking_error,omitempty"`
+	// WithClutter surrounds the tag with the roadside object lineup.
+	WithClutter bool `json:"with_clutter,omitempty"`
+	// Commercial swaps in the commercial automotive front end (Sec 8).
+	Commercial bool `json:"commercial,omitempty"`
+	// FrameBudget caps the simulated frames (0 keeps the default 280).
+	FrameBudget int `json:"frame_budget,omitempty"`
+	// Workers caps the frame-loop worker pool (0 uses GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Seed drives the read's randomness.
+	Seed int64 `json:"seed,omitempty"`
+	// Fault enables deterministic fault injection for this read only.
+	Fault *FaultRequest `json:"fault,omitempty"`
+}
+
+// FaultRequest is the JSON shape of a per-read fault injection plan.
+type FaultRequest struct {
+	Seed        int64   `json:"seed,omitempty"`
+	DropRate    float64 `json:"drop_rate,omitempty"`
+	CorruptRate float64 `json:"corrupt_rate,omitempty"`
+	BurstRate   float64 `json:"burst_rate,omitempty"`
+	PanicRate   float64 `json:"panic_rate,omitempty"`
+	DelayRate   float64 `json:"delay_rate,omitempty"`
+}
+
+// BatchResponse is the body of a 200 response: Results[i] answers Reads[i].
+type BatchResponse struct {
+	Results []ReadResult `json:"results"`
+	// EnginesResident is the LRU occupancy after the batch.
+	EnginesResident int `json:"engines_resident"`
+}
+
+// ReadResult reports one read. Error is nil on success; a failed read keeps
+// whatever partial fields the pipeline produced alongside the typed error.
+type ReadResult struct {
+	Tenant          string  `json:"tenant,omitempty"`
+	Detected        bool    `json:"detected"`
+	Bits            string  `json:"bits,omitempty"`
+	SNRdB           float64 `json:"snr_db,omitempty"`
+	BER             float64 `json:"ber,omitempty"`
+	MedianRSSdBm    float64 `json:"median_rss_dbm,omitempty"`
+	Samples         int     `json:"samples,omitempty"`
+	Partial         bool    `json:"partial,omitempty"`
+	FramesCompleted int     `json:"frames_completed,omitempty"`
+	FramesDropped   int     `json:"frames_dropped,omitempty"`
+	// Engine is the configuration fingerprint keying the engine that
+	// served the read (the "engine" label of ros_engine_cache_entries).
+	Engine string     `json:"engine,omitempty"`
+	WallMS float64    `json:"wall_ms"`
+	Error  *ErrorInfo `json:"error,omitempty"`
+}
+
+// ErrorInfo is the typed JSON rendering of a read or batch error.
+type ErrorInfo struct {
+	// Kind is the stable taxonomy tag: "config", "cancelled",
+	// "frame_corrupt", "no_tag", "undecodable", "worker_panic",
+	// "overload" or "internal".
+	Kind string `json:"kind"`
+	// Message is the human-readable error chain.
+	Message string `json:"message"`
+}
+
+// errorKind maps an error chain onto its stable JSON kind via the roserr
+// taxonomy. Order matters only for chains wrapping several sentinels, which
+// the pipeline never produces.
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, roserr.ErrConfig):
+		return "config"
+	case errors.Is(err, roserr.ErrReadCancelled):
+		return "cancelled"
+	case errors.Is(err, roserr.ErrFrameCorrupt):
+		return "frame_corrupt"
+	case errors.Is(err, roserr.ErrNoTag):
+		return "no_tag"
+	case errors.Is(err, roserr.ErrUndecodable):
+		return "undecodable"
+	case errors.Is(err, roserr.ErrWorkerPanic):
+		return "worker_panic"
+	case errors.Is(err, roserr.ErrOverload):
+		return "overload"
+	}
+	return "internal"
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(body); err != nil {
+		obs.Logger().Error("rosd: response encode failed", "err", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, kind, format string, args ...any) {
+	writeJSON(w, status, map[string]*ErrorInfo{
+		"error": {Kind: kind, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// tryAdmit atomically admits n reads against MaxQueueDepth, reporting the
+// depth observed at the decision and whether the batch was admitted.
+func (s *Server) tryAdmit(n int) (depth int, ok bool) {
+	s.admit.Lock()
+	defer s.admit.Unlock()
+	depth = s.inflight
+	if depth+n > s.cfg.MaxQueueDepth {
+		return depth, false
+	}
+	s.inflight += n
+	gInflight.Set(float64(s.inflight))
+	return depth, true
+}
+
+// release returns one read's admission slot.
+func (s *Server) release() {
+	s.admit.Lock()
+	s.inflight--
+	gInflight.Set(float64(s.inflight))
+	s.admit.Unlock()
+}
+
+// handleRead serves POST /v1/read: decode, admit (or 429), fan the batch
+// out, collect per-request results.
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "config", "use POST")
+		return
+	}
+	var batch BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "config", "malformed batch: %v", err)
+		return
+	}
+	if len(batch.Reads) == 0 {
+		writeError(w, http.StatusBadRequest, "config", "empty batch")
+		return
+	}
+	if len(batch.Reads) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "config",
+			"batch of %d exceeds the %d-read limit", len(batch.Reads), s.cfg.MaxBatch)
+		return
+	}
+
+	depth, ok := s.tryAdmit(len(batch.Reads))
+	hQueueDepth.Observe(float64(depth))
+	if !ok {
+		mOverload.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overload",
+			"%v: %d reads in flight, %d-read batch exceeds queue depth %d",
+			roserr.ErrOverload, depth, len(batch.Reads), s.cfg.MaxQueueDepth)
+		return
+	}
+	mBatches.Inc()
+
+	results := make([]ReadResult, len(batch.Reads))
+	var wg sync.WaitGroup
+	for i := range batch.Reads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer s.release()
+			results[i] = s.runOne(r.Context(), batch.Reads[i])
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Results:         results,
+		EnginesResident: s.engines.Len(),
+	})
+}
+
+// runOne executes one read of an admitted batch. It never panics the batch:
+// pipeline worker panics already degrade inside the simulator, and a panic
+// in this frame (a service bug) is recovered into a "worker_panic" result.
+func (s *Server) runOne(ctx context.Context, req ReadRequest) (res ReadResult) {
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	res.Tenant = req.Tenant
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			res.Error = &ErrorInfo{
+				Kind:    "worker_panic",
+				Message: fmt.Sprintf("%v: rosd handler: %v", roserr.ErrWorkerPanic, p),
+			}
+			obs.Logger().Error("rosd: handler panic", "panic", p,
+				"stack", string(debug.Stack()))
+		}
+		wall := time.Since(start)
+		res.WallMS = float64(wall.Nanoseconds()) / 1e6
+		hReadSeconds.With(tenant).Observe(wall.Seconds())
+		mReads.With(tenant, resultOutcome(&res)).Inc()
+	}()
+
+	cfg, err := driveByFor(req)
+	if err != nil {
+		res.Error = &ErrorInfo{Kind: errorKind(err), Message: err.Error()}
+		return res
+	}
+	eng, key := s.engines.get(cfg)
+	cfg.Engine = eng
+	res.Engine = key
+
+	if s.cfg.ReadTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ReadTimeout)
+		defer cancel()
+	}
+	out, err := sim.RunContext(ctx, cfg)
+	if out != nil {
+		res.Detected = out.Detected
+		res.Bits = out.Bits
+		// JSON has no infinities: an undetected pass reports SNR -Inf,
+		// which would abort the whole batch encode. Zero-with-omitempty
+		// renders those fields absent instead.
+		res.SNRdB = finite(out.SNRdB)
+		res.BER = finite(out.BER)
+		res.MedianRSSdBm = finite(out.MedianRSSdBm)
+		res.Samples = out.Samples
+		res.Partial = out.Partial
+		res.FramesCompleted = out.FramesCompleted
+		res.FramesDropped = out.FramesDropped
+		// The service exposes the flat JSON view only; return the span tree
+		// to the pool (dropping the Detection's alias into it first).
+		if out.Detection != nil {
+			out.Detection.Span = nil
+		}
+		out.Span.Release()
+		out.Span = nil
+	}
+	if err != nil {
+		res.Error = &ErrorInfo{Kind: errorKind(err), Message: err.Error()}
+	}
+	return res
+}
+
+// finite clamps NaN and ±Inf to zero for JSON encoding.
+func finite(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}
+
+// resultOutcome labels a finished read for ros_rosd_reads_total.
+func resultOutcome(res *ReadResult) string {
+	switch {
+	case res.Partial:
+		return outcomePartial
+	case res.Error != nil:
+		return outcomeError
+	case !res.Detected:
+		return outcomeNoTag
+	case res.Bits == "":
+		return outcomeUndecodable
+	}
+	return outcomeOK
+}
+
+// driveByFor translates a wire request into a validated pass configuration.
+func driveByFor(req ReadRequest) (sim.DriveBy, error) {
+	if req.Bits == "" {
+		return sim.DriveBy{}, fmt.Errorf("rosd: %w: empty bits", roserr.ErrConfig)
+	}
+	var fog em.FogLevel
+	switch req.Fog {
+	case "", "clear":
+		fog = em.FogClear
+	case "light":
+		fog = em.FogLight
+	case "heavy":
+		fog = em.FogHeavy
+	default:
+		return sim.DriveBy{}, fmt.Errorf("rosd: %w: unknown fog level %q", roserr.ErrConfig, req.Fog)
+	}
+	cfg := sim.DriveBy{
+		Bits:          req.Bits,
+		StackModules:  req.StackModules,
+		Standoff:      req.Standoff,
+		Speed:         req.SpeedMPS,
+		HeightOffset:  req.HeightOffset,
+		Fog:           fog,
+		TrackingError: req.TrackingError,
+		WithClutter:   req.WithClutter,
+		FrameBudget:   req.FrameBudget,
+		Workers:       req.Workers,
+		Seed:          req.Seed,
+	}
+	if req.Commercial {
+		rc := radarDefault()
+		rc.FrontEnd = em.CommercialRadar()
+		cfg.Radar = &rc
+	}
+	if f := req.Fault; f != nil {
+		cfg.Fault = &fault.Config{
+			Seed:          f.Seed,
+			FrameDropRate: f.DropRate,
+			CorruptRate:   f.CorruptRate,
+			BurstRate:     f.BurstRate,
+			PanicRate:     f.PanicRate,
+			DelayRate:     f.DelayRate,
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return sim.DriveBy{}, err
+	}
+	return cfg, nil
+}

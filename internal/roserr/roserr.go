@@ -40,4 +40,11 @@ var (
 	// ErrWorkerPanic marks a recovered panic on the sweep worker pool; the
 	// concrete sweep.PanicError carries the panic value and stack trace.
 	ErrWorkerPanic = errors.New("worker panicked")
+
+	// ErrOverload marks a request refused by admission control: the serving
+	// queue is already at its configured depth and accepting more work would
+	// push latency past its envelope instead of shedding load. Overload is a
+	// transient server condition, never a statement about the request —
+	// retrying after backoff is the expected response.
+	ErrOverload = errors.New("server overloaded")
 )

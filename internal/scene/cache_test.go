@@ -54,7 +54,7 @@ func TestTagResponseMemoMatchesDirect(t *testing.T) {
 			t.Errorf("ElevationEnvelope(%v) diverges from direct", p)
 		}
 	}
-	if n := sceneResponses.Len(); n == 0 {
+	if n := defaultResponses.Len(); n == 0 {
 		t.Error("memo is empty after memoized evaluations")
 	}
 }
@@ -68,7 +68,7 @@ func TestResetCachesRebuildIdentical(t *testing.T) {
 	before := tag.Response(p, fc)
 	beforeP := tag.stackPower(p, fc)
 	ResetCaches()
-	if n := sceneResponses.Len(); n != 0 {
+	if n := defaultResponses.Len(); n != 0 {
 		t.Fatalf("ResetCaches left %d entries", n)
 	}
 	if got := tag.Response(p, fc); got != before {
@@ -129,13 +129,13 @@ func TestSceneMemoCapWipes(t *testing.T) {
 	ResetCaches()
 	defer ResetCaches()
 	for i := 0; i < sceneResponseCap; i++ {
-		memoStore(responseKey{fp: 1, px: float64(i)}, complex128(0))
+		defaultResponses.store(responseKey{fp: 1, px: float64(i)}, complex128(0))
 	}
-	if n := sceneResponses.Len(); n != sceneResponseCap {
+	if n := defaultResponses.Len(); n != sceneResponseCap {
 		t.Fatalf("filled memo holds %d entries, want %d", n, sceneResponseCap)
 	}
-	memoStore(responseKey{fp: 2}, complex128(0))
-	if n := sceneResponses.Len(); n != 1 {
+	defaultResponses.store(responseKey{fp: 2}, complex128(0))
+	if n := defaultResponses.Len(); n != 1 {
 		t.Errorf("store at capacity left %d entries, want 1 (wipe then insert)", n)
 	}
 }

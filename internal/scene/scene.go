@@ -46,6 +46,11 @@ type Scene struct {
 	// frequency-domain code shrugs it off because detrending removes the
 	// slowly varying interference envelope).
 	Ground *GroundMultipath
+	// Responses, when non-nil, memoizes tag field terms through the given
+	// resource handle instead of the process-wide default cache. Results
+	// are bit-identical either way; ownership is what changes — an Engine
+	// dropping its cache never evicts another handle's entries.
+	Responses *ResponseCache
 	// DisablePolSwitching ablates Sec 4.2's PSVAA design: decode-mode
 	// clutter keeps its full co-polarized strength (no cross-pol
 	// rejection) and the tag re-radiates from both halves of each pair
@@ -83,6 +88,10 @@ func radarElementAmp(az float64) float64 {
 // per-measurement polarization-rejection spread (nil for deterministic
 // output).
 func (s *Scene) Scatterers(radarPos, radarVel geom.Vec3, mode Mode, fe em.RadarFrontEnd, f float64, rng *rand.Rand) []radar.Scatterer {
+	responses := s.Responses
+	if responses == nil {
+		responses = defaultResponses
+	}
 	lambda := em.Wavelength(f)
 	fogAtten := s.Fog.AttenuationDBPerMeter() + em.RainAttenuationDBPerMeter(s.RainMMPerHour)
 	capHint := 3 * len(s.Tags) // detect mode emits up to 3 points per tag
@@ -146,7 +155,7 @@ func (s *Scene) Scatterers(radarPos, radarVel geom.Vec3, mode Mode, fe em.RadarF
 			if s.blocked(radarPos, t.Position) {
 				continue
 			}
-			resp := t.Response(radarPos, f)
+			resp := t.responseCached(responses, radarPos, f)
 			if s.DisablePolSwitching {
 				// Both pair halves re-radiate: +6 dB RCS (Sec 4.2).
 				resp *= 2
@@ -183,7 +192,7 @@ func (s *Scene) Scatterers(radarPos, radarVel geom.Vec3, mode Mode, fe em.RadarF
 			// refElevationGain). This pins the RSS-loss feature near
 			// Fig 13a's ~13 dB for every stack size, shaping choice, and
 			// bit pattern.
-			aperture := t.stackPower(radarPos, f) / refElevationGain
+			aperture := t.stackPowerCached(responses, radarPos, f) / refElevationGain
 			mounted := float64(len(t.Layout.Positions())) / 5
 			rcs := em.FromDBsm(t.Stats.RCSdBsm) * aperture * mounted / 3
 			for i := -1; i <= 1; i++ {

@@ -108,15 +108,21 @@ func tagFingerprint(layout *coding.Layout, st *stack.Stack, pos geom.Vec3) uint6
 // the phase is relative to the tag center (the center's own round-trip phase
 // is applied by the radar model through Scatterer.Range).
 func (t *Tag) Response(radarPos geom.Vec3, f float64) complex128 {
-	if t.fp == 0 {
+	return t.responseCached(defaultResponses, radarPos, f)
+}
+
+// responseCached is Response memoizing through an explicit cache; nil skips
+// memoization entirely.
+func (t *Tag) responseCached(rc *ResponseCache, radarPos geom.Vec3, f float64) complex128 {
+	if t.fp == 0 || rc == nil {
 		return t.responseDirect(radarPos, f)
 	}
 	key := responseKey{fp: t.fp, px: radarPos.X, py: radarPos.Y, pz: radarPos.Z, f: f, kind: kindResponse}
-	if v, ok := memoLoad(key); ok {
+	if v, ok := rc.load(key); ok {
 		return v.(complex128)
 	}
 	r := t.responseDirect(radarPos, f)
-	memoStore(key, r)
+	rc.store(key, r)
 	return r
 }
 
@@ -195,15 +201,21 @@ func (t *Tag) ElevationEnvelope(radarPos geom.Vec3, f float64) float64 {
 // stackPower evaluates the per-module coherent sum for the reference stack
 // only (elevation structure without the spatial code).
 func (t *Tag) stackPower(radarPos geom.Vec3, f float64) float64 {
-	if t.fp == 0 {
+	return t.stackPowerCached(defaultResponses, radarPos, f)
+}
+
+// stackPowerCached is stackPower memoizing through an explicit cache; nil
+// skips memoization entirely.
+func (t *Tag) stackPowerCached(rc *ResponseCache, radarPos geom.Vec3, f float64) float64 {
+	if t.fp == 0 || rc == nil {
 		return t.stackPowerDirect(radarPos, f)
 	}
 	key := responseKey{fp: t.fp, px: radarPos.X, py: radarPos.Y, pz: radarPos.Z, f: f, kind: kindStackPower}
-	if v, ok := memoLoad(key); ok {
+	if v, ok := rc.load(key); ok {
 		return v.(float64)
 	}
 	p := t.stackPowerDirect(radarPos, f)
-	memoStore(key, p)
+	rc.store(key, p)
 	return p
 }
 

@@ -16,6 +16,7 @@ import (
 	"ros/internal/detect"
 	"ros/internal/dsp"
 	"ros/internal/em"
+	"ros/internal/engine"
 	"ros/internal/fault"
 	"ros/internal/geom"
 	"ros/internal/obs"
@@ -170,6 +171,12 @@ type DriveBy struct {
 	// frame. The output is byte-identical either way (the incremental scan
 	// is exact); this exists for A/B verification and perf forensics.
 	DisableIncrementalScan bool
+	// Engine, when non-nil, supplies the resource handle all memoized state
+	// of the pass — transform plans, steering tables, scene-response memos,
+	// pooled frame buffers, scan states — is drawn from and accounted
+	// against; nil uses the process-wide default caches. Results are
+	// byte-identical either way.
+	Engine *engine.Engine
 }
 
 // Validate reports whether the pass configuration is usable. It checks the
@@ -378,6 +385,9 @@ func RunContext(ctx context.Context, cfg DriveBy) (_ *Outcome, rerr error) {
 		RainMMPerHour:       cfg.RainMMPerHour,
 		DisablePolSwitching: cfg.DisablePolSwitching,
 	}
+	if cfg.Engine != nil {
+		sc.Responses = cfg.Engine.Responses
+	}
 	if cfg.GroundMultipath {
 		sc.Ground = scene.DefaultGround()
 	}
@@ -475,6 +485,10 @@ func RunContext(ctx context.Context, cfg DriveBy) (_ *Outcome, rerr error) {
 	p.Workers = cfg.Workers
 	p.MaxFrameLoss = cfg.MaxFrameLoss
 	p.Detect.DisableIncremental = cfg.DisableIncrementalScan
+	if cfg.Engine != nil {
+		p.Session = cfg.Engine.Session
+		p.ScanStates = cfg.Engine.ScanStates
+	}
 	var inj *fault.Injector
 	if cfg.Fault != nil {
 		inj, err = fault.New(*cfg.Fault)

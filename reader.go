@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ros/internal/em"
+	"ros/internal/engine"
 	"ros/internal/fault"
 	"ros/internal/obs"
 	"ros/internal/radar"
@@ -17,6 +18,9 @@ import (
 // Reader is a vehicle-mounted radar configuration for reading tags.
 type Reader struct {
 	radar radar.Config
+	// engine is the optional resource handle reads draw memoized state
+	// from; nil uses the process-global default caches (see WithEngine).
+	engine *engine.Engine
 }
 
 // ReaderOption customizes NewReader.
@@ -217,6 +221,7 @@ func (r *Reader) ReadContext(ctx context.Context, t *Tag, opts ReadOptions) (*Re
 		Seed:          opts.Seed,
 		Workers:       opts.Workers,
 		Radar:         &r.radar,
+		Engine:        r.engine,
 
 		DisableIncrementalScan: opts.DisableIncrementalScan,
 	}
