@@ -21,7 +21,7 @@ BENCH_KERNEL := 'BenchmarkToneFill256$$|BenchmarkToneFill32$$|BenchmarkAccumulat
 # Observability overhead budget (percent) enforced by obs-overhead.
 OBS_OVERHEAD_PCT ?= 2
 
-.PHONY: ci fmt vet build test race test-purego bench bench-kernel bench-trend bench-baseline bench-compare bench-smoke obs-overhead chaos fuzz-smoke profile rosd-load rosd-load-smoke
+.PHONY: ci fmt vet build test race test-purego bench bench-kernel bench-trend bench-baseline bench-compare bench-smoke obs-overhead chaos rosd-chaos fuzz-smoke profile rosd-load rosd-load-smoke
 
 ci: fmt vet build race test-purego
 
@@ -63,13 +63,16 @@ bench-trend:
 	$(GO) run ./cmd/rosbench -json -trend BENCH_trend.jsonl
 
 # Canonical read-service load profile: 1k+ concurrent mixed-configuration
-# reads against an in-process rosd, appending batch-latency and queue-depth
-# quantiles to the checked-in trend file. 96 distinct configurations against
-# the default LRU capacity of 64 force engine eviction under load, so the run
-# also exercises the bounded-residency contract. Run alongside bench-trend in
-# PRs that touch the service or the engine/cache layers.
+# reads against an in-process rosd, appending batch-latency, queue-depth and
+# per-tenant goodput/fairness quantiles to the checked-in trend file. 96
+# distinct configurations against the default LRU capacity of 64 force
+# engine eviction under load (the bounded-residency contract), and the 4x
+# flood against armed per-tenant quotas pins the isolation contract in the
+# same run. Run alongside bench-trend in PRs that touch the service, the
+# client, or the engine/cache layers.
 rosd-load:
-	$(GO) run ./cmd/rosd-load -reads 1024 -concurrency 32 -configs 96 -trend BENCH_trend.jsonl
+	$(GO) run ./cmd/rosd-load -reads 1024 -concurrency 32 -configs 96 \
+		-tenants 4 -flood 4 -tenant-rate 2 -tenant-burst 200 -trend BENCH_trend.jsonl
 
 # Reduced-scale load smoke for CI: same harness, no trend append.
 rosd-load-smoke:
@@ -137,6 +140,15 @@ profile:
 # the relaxed wall-clock bound.
 chaos:
 	$(GO) test -run TestChaos -v .
+
+# Service-layer chaos under -race: the rosclient network-chaos harness
+# (slow-loris, mid-body drops, malformed/oversized JSON, stalled reads) and
+# the rosd survival suite (fairness under flood, deadline shedding, drain
+# with zero dropped reads, goroutine-leak regression). Short mode keeps it
+# inside CI budgets; run without flags locally for the full-scale profile.
+rosd-chaos:
+	$(GO) test -race -short -v ./internal/rosclient/
+	$(GO) test -race -short -run 'TestFairness|TestDeadline|TestDrain|TestGoroutineLeak|TestParseHardening|TestHealthAndReadiness' -v ./internal/rosd/
 
 # Fuzz each native target for FUZZ_TIME (Go runs one -fuzz target per
 # invocation). The checked-in corpora under testdata/fuzz replay on every

@@ -28,6 +28,13 @@ var (
 	// carries the panic value and stack trace.
 	ErrWorkerPanic = roserr.ErrWorkerPanic
 	// ErrOverload marks a read service request refused by admission control
-	// (queue at capacity); retry after backoff.
+	// (queue at capacity or tenant over quota); retry after backoff.
 	ErrOverload = roserr.ErrOverload
+	// ErrDraining marks a read service request refused because the service
+	// is shutting down gracefully; retry elsewhere or after restart.
+	ErrDraining = roserr.ErrDraining
+	// ErrCircuitOpen marks a client request refused locally by an open
+	// circuit breaker (the request never reached the network); retry after
+	// the breaker's cooldown.
+	ErrCircuitOpen = roserr.ErrCircuitOpen
 )

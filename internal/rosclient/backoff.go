@@ -1,0 +1,58 @@
+package rosclient
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// splitmix64 advances the jitter stream — the same generator the simulator
+// uses for sub-streams, so the retry schedule is a pure function of the
+// configured seed and pins exactly in tests.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jitter maps one stream output onto [0.5, 1.0): full-jitter halves thundering
+// herds while keeping every delay within 2x of its deterministic envelope.
+func jitter(u uint64) float64 {
+	return 0.5 + 0.5*float64(u>>11)/(1<<53)
+}
+
+// backoffDelay is the attempt'th retry delay before jitter: base doubling
+// per attempt, capped at max.
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// parseRetryAfter reads a Retry-After header in either RFC form — delay
+// seconds or an HTTP-date — returning 0 when absent or malformed. now
+// anchors the date form so tests can pin it.
+func parseRetryAfter(h http.Header, now time.Time) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

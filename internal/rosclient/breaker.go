@@ -1,0 +1,94 @@
+package rosclient
+
+import (
+	"fmt"
+	"time"
+
+	"ros/internal/roserr"
+)
+
+// breaker is a per-endpoint circuit breaker. Closed it counts consecutive
+// failures; at the threshold it opens and fails calls fast (typed
+// roserr.ErrCircuitOpen, no network traffic) until the cooldown elapses, at
+// which point it half-opens and lets exactly one probe through — single
+// flight; concurrent calls keep failing fast until the probe reports. A
+// successful probe closes the breaker, a failed one re-opens it for another
+// cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	// Guarded by the owning Client's mu (breakers are only touched through
+	// Client methods, which lock around every transition).
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// allow decides whether a call may go out now. The error, when non-nil,
+// wraps roserr.ErrCircuitOpen and names the remaining cooldown.
+func (b *breaker) allow(now time.Time) error {
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if wait := b.openedAt.Add(b.cooldown).Sub(now); wait > 0 {
+			return fmt.Errorf("rosclient: %w: %s left of cooldown", roserr.ErrCircuitOpen, wait)
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return fmt.Errorf("rosclient: %w: probe in flight", roserr.ErrCircuitOpen)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// success reports a completed call: any state collapses to closed.
+func (b *breaker) success() {
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure reports a failed call; it returns true when this failure opened
+// (or re-opened) the breaker.
+func (b *breaker) failure(now time.Time) bool {
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+		b.failures = 0
+		return true
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.failures = 0
+		return true
+	}
+	return false
+}

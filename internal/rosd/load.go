@@ -1,17 +1,17 @@
 package rosd
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
-	"io"
 	"math"
-	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"ros/internal/obs"
+	"ros/internal/rosclient"
+	"ros/internal/roserr"
 )
 
 // LoadConfig parameterizes RunLoad, the service's load harness: many
@@ -29,7 +29,8 @@ type LoadConfig struct {
 	Reads int
 	// Concurrency is the number of parallel client goroutines (default 32).
 	Concurrency int
-	// BatchSize is the reads per POST (default 8).
+	// BatchSize is the reads per POST (default 8). Batches are
+	// single-tenant, so per-tenant fairness is measurable end to end.
 	BatchSize int
 	// Configs is the number of distinct radar+scene configurations mixed
 	// into the stream (default 8); each becomes one engine in the LRU.
@@ -37,12 +38,19 @@ type LoadConfig struct {
 	// Tenants is the number of distinct tenant labels cycled through the
 	// stream (default 4).
 	Tenants int
+	// FloodFactor makes tenant-0 a flooder: it sends FloodFactor times an
+	// in-quota tenant's share of the stream (default 1 — uniform traffic).
+	FloodFactor int
 	// FrameBudget caps each read's simulated frames (default 48 — the
 	// pipeline refuses passes under 32 frames; 48 exercises it end to end
 	// while keeping a 1k-read run fast).
 	FrameBudget int
-	// MaxRetries bounds per-batch retries after a 429 (default 64).
+	// MaxRetries bounds the client's retries per batch (default 64).
 	MaxRetries int
+	// Hedge arms hedged reads in the harness client: a second identical
+	// request races any batch slower than this (0 disables). Reads are
+	// seeded, so duplicated execution is safe.
+	Hedge time.Duration
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -61,6 +69,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.Tenants <= 0 {
 		c.Tenants = 4
 	}
+	if c.FloodFactor <= 0 {
+		c.FloodFactor = 1
+	}
 	if c.FrameBudget <= 0 {
 		c.FrameBudget = 48
 	}
@@ -70,20 +81,53 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	return c
 }
 
+// TenantReport is one tenant's slice of a load run, as its clients saw it.
+type TenantReport struct {
+	Tenant string `json:"tenant"`
+	// Reads is the tenant's share of the stream; OK completed successfully,
+	// Throttled were refused by quota (in-result overload errors or whole
+	// batches still 429 after retries), Errors is everything else typed.
+	Reads     int `json:"reads"`
+	OK        int `json:"ok"`
+	Throttled int `json:"throttled"`
+	Errors    int `json:"errors"`
+	// GoodputRPS is OK reads per wall second of the run.
+	GoodputRPS float64 `json:"goodput_rps"`
+	// BatchP50MS/P99MS are the tenant's client-observed batch latencies
+	// (including the client's backoff waits).
+	BatchP50MS float64 `json:"batch_p50_ms"`
+	BatchP99MS float64 `json:"batch_p99_ms"`
+}
+
 // LoadReport summarizes one RunLoad: client-observed batch latency
-// quantiles, per-read outcome counts, admission behavior, and (for
-// in-process runs) the server's queue-depth histogram quantiles.
+// quantiles, per-read outcome counts, admission behavior, per-tenant
+// goodput, and (for in-process runs) the server's queue-depth histogram
+// quantiles.
 type LoadReport struct {
 	Reads       int `json:"reads"`
 	Batches     int `json:"batches"`
 	Concurrency int `json:"concurrency"`
 	Configs     int `json:"configs"`
-	// Overloads counts 429 responses (each retried until MaxRetries).
+	// Overloads counts backpressure responses the client observed (429
+	// overload and 503 draining, each retried within MaxRetries).
 	Overloads int `json:"overloads"`
-	// Errors counts reads that returned a typed per-request error.
+	// Retries counts client retry attempts across the run.
+	Retries int64 `json:"retries"`
+	// Hedges counts hedge requests the client launched (0 unless Hedge set).
+	Hedges int64 `json:"hedges,omitempty"`
+	// Errors counts reads that returned a typed per-request error
+	// (throttled reads included).
 	Errors int `json:"errors"`
+	// Throttled counts reads refused by tenant quota.
+	Throttled int `json:"throttled"`
 	// Outcomes counts reads by result label (ok, no_tag, ...).
 	Outcomes map[string]int `json:"outcomes"`
+	// Tenants reports each tenant's goodput, sorted by tenant name.
+	Tenants []TenantReport `json:"tenants,omitempty"`
+	// FairnessRatio is min/max goodput across the in-quota tenants (the
+	// flood tenant excluded when FloodFactor > 1): 1.0 is perfectly fair,
+	// 0 means some tenant was starved outright.
+	FairnessRatio float64 `json:"fairness_ratio,omitempty"`
 	// EnginesResident is the server's LRU occupancy after the run.
 	EnginesResident int `json:"engines_resident"`
 	// Evictions counts Engines the LRU closed to stay at capacity over the
@@ -103,11 +147,18 @@ type LoadReport struct {
 	QueueDepthP99 float64 `json:"queue_depth_p99"`
 }
 
-// RunLoad drives cfg.Reads mixed-configuration reads through the service and
-// reports what the clients and the admission layer saw. Batches refused with
-// 429 are retried with backoff (that is the documented client contract for
-// overload), so every read completes unless the server stays saturated past
-// MaxRetries.
+// tenantAgg accumulates one tenant's outcomes during the run.
+type tenantAgg struct {
+	reads, ok, throttled, errs int
+	lats                       []float64
+}
+
+// RunLoad drives cfg.Reads reads through the service — tenant-0 at
+// FloodFactor times everyone else's share — and reports what the clients,
+// the quota layer and the admission layer saw. Batches ride the
+// self-healing rosclient: 429/503 are retried with seeded backoff honoring
+// Retry-After, so every read completes unless its tenant stays over quota
+// (those reads count as Throttled, not run failures).
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
 
@@ -127,19 +178,43 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		evictionsBefore = snapCounter("ros_rosd_engine_evictions_total")
 	}
 
-	client := &http.Client{}
-	batches := make(chan BatchRequest, cfg.Concurrency)
+	client := rosclient.New(rosclient.Config{
+		BaseURL:     url,
+		Seed:        1,
+		MaxRetries:  cfg.MaxRetries,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  16 * time.Millisecond,
+		// The server hints whole seconds; waiting that long per 429 would
+		// dominate a load run, so the harness caps the honored wait and
+		// leans on its tight retry budget instead.
+		MaxRetryAfter: 25 * time.Millisecond,
+		HedgeDelay:    cfg.Hedge,
+	})
+
+	type tenantBatch struct {
+		tenant string
+		batch  BatchRequest
+	}
+	batches := make(chan tenantBatch, cfg.Concurrency)
 	var (
 		mu        sync.Mutex
 		latencies []float64
+		perTenant = make(map[string]*tenantAgg)
 		report    = &LoadReport{
-			Reads:       cfg.Reads,
 			Concurrency: cfg.Concurrency,
 			Configs:     cfg.Configs,
 			Outcomes:    make(map[string]int),
 		}
 		firstErr error
 	)
+	aggFor := func(name string) *tenantAgg {
+		a := perTenant[name]
+		if a == nil {
+			a = &tenantAgg{}
+			perTenant[name] = a
+		}
+		return a
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -147,14 +222,30 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for batch := range batches {
-				res, overloads, lat, err := postBatch(client, url, batch, cfg.MaxRetries)
+			for tb := range batches {
+				var res BatchResponse
+				bStart := time.Now()
+				var err error
+				if cfg.Hedge > 0 {
+					err = client.DoHedged(context.Background(), "/v1/read", tb.batch, &res)
+				} else {
+					err = client.Do(context.Background(), "/v1/read", tb.batch, &res)
+				}
+				lat := msSince(bStart)
+
 				mu.Lock()
 				report.Batches++
-				report.Overloads += overloads
 				latencies = append(latencies, lat)
+				agg := aggFor(tb.tenant)
+				agg.reads += len(tb.batch.Reads)
+				agg.lats = append(agg.lats, lat)
 				if err != nil {
-					if firstErr == nil {
+					if errors.Is(err, roserr.ErrOverload) {
+						// The whole batch stayed over quota past the retry
+						// budget: refused work, not a harness failure.
+						agg.throttled += len(tb.batch.Reads)
+						report.Outcomes[outcomeError] += len(tb.batch.Reads)
+					} else if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
@@ -164,8 +255,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				for i := range res.Results {
 					r := &res.Results[i]
 					report.Outcomes[resultOutcome(r)]++
-					if r.Error != nil {
-						report.Errors++
+					switch {
+					case r.Error != nil && r.Error.Kind == "overload":
+						agg.throttled++
+					case r.Error != nil:
+						agg.errs++
+					default:
+						agg.ok++
 					}
 				}
 				mu.Unlock()
@@ -173,23 +269,58 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		}()
 	}
 
+	// Deal each tenant its share — tenant-0 gets FloodFactor shares — as
+	// single-tenant batches, interleaved round-robin so arrival order mixes
+	// tenants the way real traffic would.
+	perTenantBatches := make([][]tenantBatch, cfg.Tenants)
 	seed := int64(1)
-	for sent := 0; sent < cfg.Reads; {
-		n := cfg.BatchSize
-		if rem := cfg.Reads - sent; n > rem {
-			n = rem
+	sent := 0
+	shares := cfg.Tenants + cfg.FloodFactor - 1
+	for ti := 0; ti < cfg.Tenants; ti++ {
+		quota := cfg.Reads * 1 / shares
+		if ti == 0 {
+			quota = cfg.Reads * cfg.FloodFactor / shares
 		}
-		batch := BatchRequest{Reads: make([]ReadRequest, n)}
-		for i := range batch.Reads {
-			batch.Reads[i] = loadRead(cfg, seed)
-			seed++
+		if ti == cfg.Tenants-1 {
+			quota = cfg.Reads - sent // remainder balances rounding
 		}
-		batches <- batch
-		sent += n
+		name := fmt.Sprintf("tenant-%d", ti)
+		for done := 0; done < quota; {
+			n := cfg.BatchSize
+			if rem := quota - done; n > rem {
+				n = rem
+			}
+			b := BatchRequest{Reads: make([]ReadRequest, n)}
+			for i := range b.Reads {
+				b.Reads[i] = loadRead(cfg, name, seed)
+				seed++
+			}
+			perTenantBatches[ti] = append(perTenantBatches[ti], tenantBatch{tenant: name, batch: b})
+			done += n
+			sent += n
+		}
+	}
+	report.Reads = sent
+	for round := 0; ; round++ {
+		any := false
+		for ti := range perTenantBatches {
+			if round < len(perTenantBatches[ti]) {
+				batches <- perTenantBatches[ti][round]
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
 	}
 	close(batches)
 	wg.Wait()
 	report.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+
+	stats := client.Stats()
+	report.Overloads = int(stats.Throttles)
+	report.Retries = stats.Retries
+	report.Hedges = stats.Hedges
 
 	if firstErr != nil {
 		return report, firstErr
@@ -201,6 +332,42 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if len(latencies) > 0 {
 		report.BatchMaxMS = latencies[len(latencies)-1]
 	}
+
+	wallSec := report.WallMS / 1e3
+	names := make([]string, 0, len(perTenant))
+	for name := range perTenant {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	minGood, maxGood := math.Inf(1), 0.0
+	for _, name := range names {
+		a := perTenant[name]
+		sort.Float64s(a.lats)
+		tr := TenantReport{
+			Tenant:     name,
+			Reads:      a.reads,
+			OK:         a.ok,
+			Throttled:  a.throttled,
+			Errors:     a.errs,
+			BatchP50MS: quantile(a.lats, 0.50),
+			BatchP99MS: quantile(a.lats, 0.99),
+		}
+		if wallSec > 0 {
+			tr.GoodputRPS = float64(a.ok) / wallSec
+		}
+		report.Tenants = append(report.Tenants, tr)
+		report.Throttled += a.throttled
+		report.Errors += a.throttled + a.errs
+		if cfg.FloodFactor > 1 && name == "tenant-0" {
+			continue // the flooder does not vote on fairness
+		}
+		minGood = math.Min(minGood, tr.GoodputRPS)
+		maxGood = math.Max(maxGood, tr.GoodputRPS)
+	}
+	if maxGood > 0 && !math.IsInf(minGood, 1) {
+		report.FairnessRatio = minGood / maxGood
+	}
+
 	if inProcess != nil {
 		if after := snapHistogram("ros_rosd_queue_depth"); after != nil {
 			report.QueueDepthP50 = histSnapQuantile(depthBefore, after, 0.50)
@@ -211,64 +378,22 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	return report, nil
 }
 
-// loadRead builds the i-th read of the stream: configurations and tenants
-// cycle so the engine LRU and the per-tenant metric vecs both see a mix, and
-// standoff varies per configuration so distinct configurations really are
-// distinct scenes (different fingerprints, different engines). The 2 cm
-// standoff step keeps even a 96-configuration sweep inside the detectable
-// envelope (~3–5 m at the default frame budget), so outcome counts measure
-// the service, not the physics.
-func loadRead(cfg LoadConfig, seed int64) ReadRequest {
+// loadRead builds the i-th read of the stream: configurations cycle so the
+// engine LRU sees a mix, and standoff varies per configuration so distinct
+// configurations really are distinct scenes (different fingerprints,
+// different engines). The 2 cm standoff step keeps even a 96-configuration
+// sweep inside the detectable envelope (~3–5 m at the default frame budget),
+// so outcome counts measure the service, not the physics.
+func loadRead(cfg LoadConfig, tenant string, seed int64) ReadRequest {
 	conf := int(seed) % cfg.Configs
 	return ReadRequest{
-		Tenant:      fmt.Sprintf("tenant-%d", int(seed)%cfg.Tenants),
+		Tenant:      tenant,
 		Bits:        "1111",
 		Standoff:    3 + 0.02*float64(conf),
 		WithClutter: conf%2 == 1,
 		FrameBudget: cfg.FrameBudget,
 		Workers:     1,
 		Seed:        seed,
-	}
-}
-
-// postBatch POSTs one batch, retrying 429s with linear backoff. It returns
-// the decoded response, the overload count, and the total wall millis
-// (including backoff — the latency a well-behaved client experiences).
-func postBatch(client *http.Client, url string, batch BatchRequest, maxRetries int) (*BatchResponse, int, float64, error) {
-	body, err := json.Marshal(batch)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	start := time.Now()
-	overloads := 0
-	for attempt := 0; ; attempt++ {
-		resp, err := client.Post(url+"/v1/read", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return nil, overloads, msSince(start), err
-		}
-		payload, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return nil, overloads, msSince(start), err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			overloads++
-			if attempt >= maxRetries {
-				return nil, overloads, msSince(start),
-					fmt.Errorf("rosd load: still overloaded after %d retries", maxRetries)
-			}
-			time.Sleep(time.Duration(attempt+1) * time.Millisecond)
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			return nil, overloads, msSince(start),
-				fmt.Errorf("rosd load: status %d: %s", resp.StatusCode, payload)
-		}
-		var out BatchResponse
-		if err := json.Unmarshal(payload, &out); err != nil {
-			return nil, overloads, msSince(start), err
-		}
-		return &out, overloads, msSince(start), nil
 	}
 }
 

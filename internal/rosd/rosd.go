@@ -6,15 +6,31 @@
 // set of configurations instead of growing with every configuration ever
 // seen — the failure mode the process-global caches had.
 //
-// Admission control is batch-granular: when accepting a batch would push the
-// number of in-flight reads past Config.MaxQueueDepth, the batch is refused
-// with HTTP 429 and an "overload" error body (roserr.ErrOverload) instead of
-// being queued into an unbounded latency tail. Within an admitted batch,
-// requests are independent: each runs in its own goroutine and degrades on
-// its own — one tenant's injected fault or bad configuration yields a typed
-// per-request error in the response array and never fails the batch
-// (extending the per-frame degradation contract of the read pipeline to the
-// service boundary).
+// Admission happens in two layers. Per tenant, a token bucket enforces each
+// tenant's quota (Config.TenantRate/TenantBurst): a read past its tenant's
+// quota answers a typed overload error — 429 for the whole batch when every
+// read in it is over quota — so one flooding tenant is throttled at the door
+// while the others keep their goodput. Globally, when accepting a batch
+// would push admitted in-flight reads past Config.MaxQueueDepth, the batch
+// is refused with HTTP 429 and an "overload" error body (roserr.ErrOverload)
+// instead of being queued into an unbounded latency tail.
+//
+// Admitted reads do not run immediately: they queue per tenant and a fixed
+// executor pool (Config.ExecWorkers) dequeues them in weighted round-robin
+// order across tenants, so a tenant with a deep backlog delays only itself.
+// Each read carries a deadline from its request (deadline_ms) or the
+// server's ReadTimeout, measured from admission — a read whose deadline
+// expires while still queued is shed with a typed "cancelled" result without
+// burning a worker. Within an admitted batch, requests stay independent: one
+// tenant's injected fault or bad configuration yields a typed per-request
+// error in the response array and never fails the batch (extending the
+// per-frame degradation contract of the read pipeline to the service
+// boundary).
+//
+// Shutdown is graceful by default: Drain flips /readyz to 503, refuses new
+// batches with a typed 503 "draining" body, finishes every admitted read
+// within the drain budget, then flushes the flight recorder and a final
+// metrics snapshot. Close is the hard variant.
 //
 // See docs/ROSD.md for the API reference and capacity tuning.
 package rosd
@@ -24,11 +40,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ros/internal/em"
@@ -66,6 +88,22 @@ var (
 		"Batch requests that built a fresh engine for their configuration.")
 	mEvictions = obs.Default.Counter("ros_rosd_engine_evictions_total",
 		"Engines evicted (and closed) to stay under the LRU capacity.")
+	mTenantThrottled = obs.Default.CounterVec("ros_rosd_tenant_throttled_total",
+		"Reads refused by a tenant's token bucket (quota exceeded).", "tenant")
+	gTenantQueue = obs.Default.GaugeVecCapacity("ros_rosd_tenant_queue_depth",
+		"Reads queued per tenant awaiting an executor worker.", 1024, "tenant")
+	gQueuedReads = obs.Default.Gauge("ros_rosd_queued_reads",
+		"Admitted reads waiting in the fair queue (not yet executing).")
+	gTenants = obs.Default.Gauge("ros_rosd_tenants_resident",
+		"Tenants resident in the recency-bounded tenant table.")
+	mTenantEvictions = obs.Default.Counter("ros_rosd_tenant_evictions_total",
+		"Idle tenants evicted from the tenant table past its capacity.")
+	mDeadlineShed = obs.Default.Counter("ros_rosd_deadline_shed_total",
+		"Reads that reached a worker past their deadline and were shed unexecuted.")
+	gReady = obs.Default.Gauge("ros_rosd_ready",
+		"Readiness as last probed: 1 serving, 0 draining or browned out.")
+	mDrains = obs.Default.Counter("ros_rosd_drains_total",
+		"Graceful drains started.")
 )
 
 // Outcome labels for ros_rosd_reads_total.
@@ -93,9 +131,39 @@ type Config struct {
 	// MaxBatch caps the reads in one batch; larger batches are rejected as
 	// configuration errors (HTTP 400). Default 64.
 	MaxBatch int
-	// ReadTimeout bounds each read's execution (not the whole batch);
-	// expiry yields a per-request "cancelled" error. Default 0 (none).
+	// ReadTimeout is the default per-read deadline budget, measured from
+	// admission (queue wait included); a request's deadline_ms overrides
+	// it. Expiry yields a per-request "cancelled" error, and a read whose
+	// deadline passes while it is still queued is shed without burning a
+	// worker. Default 0 (none).
 	ReadTimeout time.Duration
+	// ExecWorkers is the executor pool size: how many admitted reads run
+	// concurrently (the rest wait in the fair queue). Default GOMAXPROCS.
+	ExecWorkers int
+	// TenantRate is each tenant's quota in reads per second (token-bucket
+	// refill rate); a read past the quota is refused with a typed overload
+	// error and counted on ros_rosd_tenant_throttled_total. Default 0
+	// (quotas disabled).
+	TenantRate float64
+	// TenantBurst is the token-bucket depth (reads a tenant may burst
+	// above its steady rate). Default max(8, TenantRate).
+	TenantBurst float64
+	// TenantCapacity bounds the tenant table; past it the least recently
+	// seen idle tenant is evicted. Default 256.
+	TenantCapacity int
+	// TenantWeights sets per-tenant fair-dequeue weights (jobs served per
+	// round-robin turn); absent tenants weigh 1.
+	TenantWeights map[string]int
+	// ShedDepth is the readiness brownout threshold: /readyz reports 503
+	// once admitted in-flight reads reach it. Default 90% of
+	// MaxQueueDepth.
+	ShedDepth int
+	// MaxBodyBytes caps the /v1/read request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// DrainDumpDir, when set, receives flight.json and metrics.json (the
+	// flight-recorder ring and a final metrics snapshot) at the end of a
+	// graceful drain.
+	DrainDumpDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -111,20 +179,48 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.ExecWorkers <= 0 {
+		c.ExecWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 8
+		if c.TenantRate > c.TenantBurst {
+			c.TenantBurst = c.TenantRate
+		}
+	}
+	if c.TenantCapacity <= 0 {
+		c.TenantCapacity = 256
+	}
+	if c.ShedDepth <= 0 {
+		c.ShedDepth = c.MaxQueueDepth * 9 / 10
+		if c.ShedDepth < 1 {
+			c.ShedDepth = 1
+		}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
 	return c
 }
 
 // Server is the read service. Construct with New, serve over the network
-// with Start or embed Handler in a test server, release with Close.
+// with Start or embed Handler in a test server, release with Close (hard
+// stop) or Drain (graceful: finish in-flight work first).
 type Server struct {
 	cfg     Config
 	engines *engineLRU
 	mux     *http.ServeMux
+	queue   *fairQueue
 
 	// admit guards the admission decision so depth checks against
 	// MaxQueueDepth are exact rather than racy-increment-then-undo.
+	// inflight counts admitted reads — queued plus executing.
 	admit    sync.Mutex
 	inflight int
+
+	draining atomic.Bool
+	workers  sync.WaitGroup
+	stopOnce sync.Once
 
 	lis net.Listener
 	srv *http.Server
@@ -132,15 +228,25 @@ type Server struct {
 
 // New builds a Server around the observability mux: /metrics, /metrics.json,
 // /debug/flight, /debug/vars and /debug/pprof/ come from
-// internal/obs/httpserve; the read API mounts at /v1/read.
+// internal/obs/httpserve; the read API mounts at /v1/read, liveness and
+// readiness at /healthz and /readyz. The executor worker pool starts
+// immediately (Handler works without Start).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
 		engines: newEngineLRU(cfg.EngineCapacity),
 		mux:     httpserve.Mux(nil),
+		queue:   newFairQueue(cfg.TenantRate, cfg.TenantBurst, cfg.TenantCapacity, cfg.TenantWeights),
 	}
 	s.mux.HandleFunc("/v1/read", s.handleRead)
+	s.mux.HandleFunc("/healthz", handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	gReady.Set(1)
+	for i := 0; i < cfg.ExecWorkers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
 	return s
 }
 
@@ -173,16 +279,144 @@ func (s *Server) Addr() string {
 	return s.lis.Addr().String()
 }
 
-// Close stops the listener (when started) and closes every resident engine,
-// dropping their caches and metric entries. In-flight reads keep the state
-// they already hold and complete normally.
+// Close hard-stops the service: the listener closes immediately, queued
+// reads that no worker has picked up yet fail with a typed "draining" error
+// (so their batch handlers return), executing reads finish, workers exit,
+// and every resident engine closes. For a shutdown that finishes in-flight
+// work first, use Drain.
 func (s *Server) Close() error {
 	var err error
 	if s.srv != nil {
 		err = s.srv.Close()
 	}
-	s.engines.Close()
+	s.stop()
 	return err
+}
+
+// stop shuts the executor down exactly once: fail still-queued jobs, wait
+// for workers to finish their current reads, release the engines.
+func (s *Server) stop() {
+	s.stopOnce.Do(func() {
+		for _, j := range s.queue.close() {
+			s.failJob(j, fmt.Errorf("rosd: %w: read dropped by hard stop", roserr.ErrDraining))
+		}
+		s.workers.Wait()
+		s.engines.Close()
+	})
+}
+
+// Drain shuts the service down gracefully: readiness flips to 503 and new
+// batches are refused immediately, while in-flight reads (queued and
+// executing) finish within the budget. It then flushes the flight recorder
+// and a final metrics snapshot (logged, and written to DrainDumpDir when
+// configured) and releases every resource. A nil return means zero admitted
+// reads were dropped; a budget overrun returns an error naming the count
+// still in flight (those are then failed, not abandoned).
+func (s *Server) Drain(budget time.Duration) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	mDrains.Inc()
+	gReady.Set(0)
+	start := time.Now()
+	obs.Logger().Info("rosd: draining", "budget", budget)
+
+	deadline := start.Add(budget)
+	var drainErr error
+	for {
+		s.admit.Lock()
+		n := s.inflight
+		s.admit.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			drainErr = fmt.Errorf("rosd: %w: drain budget %s expired with %d reads in flight",
+				roserr.ErrDraining, budget, n)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.srv != nil {
+		// In-flight handlers have produced their results; give their
+		// response writes a short grace before the connections die.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := s.srv.Shutdown(ctx); err != nil && drainErr == nil {
+			drainErr = fmt.Errorf("rosd: shutdown: %w", err)
+		}
+		cancel()
+	}
+	s.flushTelemetry(time.Since(start))
+	s.stop()
+	return drainErr
+}
+
+// Draining reports whether a drain has started (readiness is down and new
+// batches are being refused).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// flushTelemetry logs the final service state and, when DrainDumpDir is set,
+// writes the flight-recorder ring and a full metrics snapshot there — the
+// post-mortem a crash would have lost.
+func (s *Server) flushTelemetry(drainWall time.Duration) {
+	dump := obs.DefaultFlight.Dump()
+	snap := obs.Default.Snapshot()
+	obs.Logger().Info("rosd: drained",
+		"wall", drainWall,
+		"flight_recorded", dump.Recorded,
+		"metric_series", len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+	dir := s.cfg.DrainDumpDir
+	if dir == "" {
+		return
+	}
+	write := func(name string, fn func(io.Writer) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			obs.Logger().Error("rosd: drain dump failed", "file", name, "err", err)
+			return
+		}
+		err = fn(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			obs.Logger().Error("rosd: drain dump failed", "file", name, "err", err)
+		}
+	}
+	write("flight.json", obs.DefaultFlight.WriteJSON)
+	write("metrics.json", obs.Default.WriteJSON)
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is readiness with load-aware brownout: 503 while draining or
+// while admitted in-flight reads sit at or above ShedDepth, so a balancer
+// steers traffic away before admission starts returning 429s.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.admit.Lock()
+	n := s.inflight
+	s.admit.Unlock()
+	draining := s.draining.Load()
+	ready := !draining && n < s.cfg.ShedDepth
+	if ready {
+		gReady.Set(1)
+	} else {
+		gReady.Set(0)
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":      ready,
+		"draining":   draining,
+		"inflight":   n,
+		"shed_depth": s.cfg.ShedDepth,
+	})
 }
 
 // BatchRequest is the body of POST /v1/read.
@@ -220,6 +454,12 @@ type ReadRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// Seed drives the read's randomness.
 	Seed int64 `json:"seed,omitempty"`
+	// DeadlineMS is this read's deadline budget in milliseconds, measured
+	// from admission (queue wait included); it overrides the server's
+	// -read-timeout. A read whose deadline passes while still queued is
+	// shed with a typed "cancelled" error without executing. 0 keeps the
+	// server default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Fault enables deterministic fault injection for this read only.
 	Fault *FaultRequest `json:"fault,omitempty"`
 }
@@ -272,27 +512,9 @@ type ErrorInfo struct {
 }
 
 // errorKind maps an error chain onto its stable JSON kind via the roserr
-// taxonomy. Order matters only for chains wrapping several sentinels, which
-// the pipeline never produces.
-func errorKind(err error) string {
-	switch {
-	case errors.Is(err, roserr.ErrConfig):
-		return "config"
-	case errors.Is(err, roserr.ErrReadCancelled):
-		return "cancelled"
-	case errors.Is(err, roserr.ErrFrameCorrupt):
-		return "frame_corrupt"
-	case errors.Is(err, roserr.ErrNoTag):
-		return "no_tag"
-	case errors.Is(err, roserr.ErrUndecodable):
-		return "undecodable"
-	case errors.Is(err, roserr.ErrWorkerPanic):
-		return "worker_panic"
-	case errors.Is(err, roserr.ErrOverload):
-		return "overload"
-	}
-	return "internal"
-}
+// taxonomy (roserr.Kind is shared with the client, which parses the kind
+// back into the matching sentinel).
+func errorKind(err error) string { return roserr.Kind(err) }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -332,17 +554,38 @@ func (s *Server) release() {
 	s.admit.Unlock()
 }
 
-// handleRead serves POST /v1/read: decode, admit (or 429), fan the batch
-// out, collect per-request results.
+// handleRead serves POST /v1/read: decode (hardened: body size cap, unknown
+// fields rejected), refuse while draining, draw each read's tenant quota
+// token, admit the remainder against the global gate, enqueue on the fair
+// queue, and collect per-request results.
 func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "config", "use POST")
 		return
 	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			"%v: shutting down, admissions closed", roserr.ErrDraining)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
 	var batch BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+	if err := dec.Decode(&batch); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "config",
+				"body exceeds the %d-byte limit", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "config", "malformed batch: %v", err)
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "config", "trailing data after batch")
 		return
 	}
 	if len(batch.Reads) == 0 {
@@ -355,33 +598,178 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	depth, ok := s.tryAdmit(len(batch.Reads))
+	// Per-tenant quota: each read draws a token from its tenant's bucket.
+	// Throttled reads answer in-result; a batch with nothing admittable
+	// (the single-tenant flood case) is refused whole with 429 so the
+	// client's backoff sees the same signal queue overload sends.
+	now := time.Now()
+	results := make([]ReadResult, len(batch.Reads))
+	admitted := make([]bool, len(batch.Reads))
+	nAdmit, throttled := 0, 0
+	var maxWait time.Duration
+	for i := range batch.Reads {
+		tenant := displayTenant(batch.Reads[i].Tenant)
+		ok, wait := s.queue.throttle(tenant, now)
+		if !ok {
+			throttled++
+			if wait > maxWait {
+				maxWait = wait
+			}
+			results[i] = throttledResult(batch.Reads[i], wait)
+			continue
+		}
+		admitted[i] = true
+		nAdmit++
+	}
+	if nAdmit == 0 && throttled > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(maxWait))
+		writeError(w, http.StatusTooManyRequests, "overload",
+			"%v: tenant quota exceeded for all %d reads", roserr.ErrOverload, throttled)
+		return
+	}
+
+	depth, ok := s.tryAdmit(nAdmit)
 	hQueueDepth.Observe(float64(depth))
 	if !ok {
+		// The tokens were drawn but no work ran; refund them so quota
+		// accounting tracks admitted work only.
+		for i := range batch.Reads {
+			if admitted[i] {
+				s.queue.refund(displayTenant(batch.Reads[i].Tenant), 1)
+			}
+		}
 		mOverload.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "overload",
 			"%v: %d reads in flight, %d-read batch exceeds queue depth %d",
-			roserr.ErrOverload, depth, len(batch.Reads), s.cfg.MaxQueueDepth)
+			roserr.ErrOverload, depth, nAdmit, s.cfg.MaxQueueDepth)
 		return
 	}
 	mBatches.Inc()
 
-	results := make([]ReadResult, len(batch.Reads))
 	var wg sync.WaitGroup
 	for i := range batch.Reads {
+		if !admitted[i] {
+			continue
+		}
 		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer s.release()
-			results[i] = s.runOne(r.Context(), batch.Reads[i])
-		}(i)
+		j := &job{
+			req:      batch.Reads[i],
+			ctx:      r.Context(),
+			deadline: readDeadline(now, batch.Reads[i], s.cfg.ReadTimeout),
+			enqueued: now,
+			res:      &results[i],
+			wg:       &wg,
+		}
+		if !s.queue.push(displayTenant(j.req.Tenant), j) {
+			// Closed between the draining check and here: fail in-result.
+			wg.Done()
+			s.release()
+			results[i] = ReadResult{Tenant: j.req.Tenant, Error: &ErrorInfo{
+				Kind:    "draining",
+				Message: fmt.Sprintf("rosd: %v: shutting down", roserr.ErrDraining),
+			}}
+		}
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, BatchResponse{
 		Results:         results,
 		EnginesResident: s.engines.Len(),
 	})
+}
+
+// displayTenant resolves the metrics/queueing label of a request's tenant.
+func displayTenant(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
+}
+
+// readDeadline computes a read's absolute deadline at admission: the
+// request's deadline_ms budget when set, else the server's ReadTimeout,
+// else none. Queue wait counts against it — that is the point.
+func readDeadline(now time.Time, req ReadRequest, fallback time.Duration) time.Time {
+	if req.DeadlineMS > 0 {
+		return now.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	if fallback > 0 {
+		return now.Add(fallback)
+	}
+	return time.Time{}
+}
+
+// retryAfterSeconds renders a wait as a Retry-After header value, rounded up
+// to at least one second.
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// throttledResult answers a read refused by its tenant's token bucket.
+func throttledResult(req ReadRequest, wait time.Duration) ReadResult {
+	res := ReadResult{Tenant: req.Tenant, Error: &ErrorInfo{
+		Kind: "overload",
+		Message: fmt.Sprintf("rosd: %v: tenant %q over quota, retry in %s",
+			roserr.ErrOverload, displayTenant(req.Tenant), wait.Round(time.Millisecond)),
+	}}
+	mReads.With(displayTenant(req.Tenant), outcomeError).Inc()
+	return res
+}
+
+// worker is one executor: it serves jobs in the fair queue's order until the
+// queue closes.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.execute(j)
+	}
+}
+
+// execute runs one dequeued job. A job whose deadline already passed while
+// queued is shed with the typed cancelled result instead of burning the
+// worker on a doomed read.
+func (s *Server) execute(j *job) {
+	defer j.wg.Done()
+	defer s.release()
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		mDeadlineShed.Inc()
+		tenant := displayTenant(j.req.Tenant)
+		*j.res = ReadResult{Tenant: j.req.Tenant, Error: &ErrorInfo{
+			Kind: "cancelled",
+			Message: fmt.Sprintf("rosd: %v: %v: deadline expired after %s in queue, read not started",
+				roserr.ErrReadCancelled, context.DeadlineExceeded,
+				time.Since(j.enqueued).Round(time.Millisecond)),
+		}}
+		mReads.With(tenant, outcomeError).Inc()
+		return
+	}
+	ctx := j.ctx
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
+	}
+	*j.res = s.runOne(ctx, j.req)
+}
+
+// failJob answers a job the executor will never run (hard stop or drain
+// budget overrun) so its batch handler unblocks.
+func (s *Server) failJob(j *job, err error) {
+	*j.res = ReadResult{Tenant: j.req.Tenant, Error: &ErrorInfo{
+		Kind:    errorKind(err),
+		Message: err.Error(),
+	}}
+	mReads.With(displayTenant(j.req.Tenant), outcomeError).Inc()
+	j.wg.Done()
+	s.release()
 }
 
 // runOne executes one read of an admitted batch. It never panics the batch:
@@ -418,11 +806,6 @@ func (s *Server) runOne(ctx context.Context, req ReadRequest) (res ReadResult) {
 	cfg.Engine = eng
 	res.Engine = key
 
-	if s.cfg.ReadTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.ReadTimeout)
-		defer cancel()
-	}
 	out, err := sim.RunContext(ctx, cfg)
 	if out != nil {
 		res.Detected = out.Detected

@@ -1,0 +1,49 @@
+package roserr
+
+import "errors"
+
+// KindInternal is the kind reported for errors outside the taxonomy.
+const KindInternal = "internal"
+
+// kinds pairs every sentinel with its stable wire tag, in match order (each
+// pipeline error wraps exactly one sentinel, so order only matters for
+// hand-built chains wrapping several).
+var kinds = []struct {
+	kind string
+	err  error
+}{
+	{"config", ErrConfig},
+	{"cancelled", ErrReadCancelled},
+	{"frame_corrupt", ErrFrameCorrupt},
+	{"no_tag", ErrNoTag},
+	{"undecodable", ErrUndecodable},
+	{"worker_panic", ErrWorkerPanic},
+	{"overload", ErrOverload},
+	{"draining", ErrDraining},
+	{"circuit_open", ErrCircuitOpen},
+}
+
+// Kind maps an error chain onto its stable wire tag ("config", "cancelled",
+// ..., or "internal" for anything outside the taxonomy). The read service
+// renders this into error bodies; the client parses it back with ForKind, so
+// a typed error survives the HTTP round trip.
+func Kind(err error) string {
+	for _, k := range kinds {
+		if errors.Is(err, k.err) {
+			return k.kind
+		}
+	}
+	return KindInternal
+}
+
+// ForKind returns the sentinel behind a wire tag, or nil for "internal" and
+// unknown tags. Clients wrap the returned sentinel into their error chains
+// so errors.Is works across the service boundary.
+func ForKind(kind string) error {
+	for _, k := range kinds {
+		if k.kind == kind {
+			return k.err
+		}
+	}
+	return nil
+}

@@ -47,4 +47,16 @@ var (
 	// transient server condition, never a statement about the request —
 	// retrying after backoff is the expected response.
 	ErrOverload = errors.New("server overloaded")
+
+	// ErrDraining marks a request refused because the service is shutting
+	// down gracefully: admissions are closed while in-flight work finishes.
+	// Like overload it is transient from the client's point of view — retry
+	// against another instance, or the same one after it restarts.
+	ErrDraining = errors.New("server draining")
+
+	// ErrCircuitOpen marks a request the client refused to send because the
+	// endpoint's circuit breaker is open: recent calls failed consecutively
+	// and the breaker is failing fast until its cooldown elapses. The request
+	// never reached the network; retry after the cooldown.
+	ErrCircuitOpen = errors.New("circuit open")
 )
